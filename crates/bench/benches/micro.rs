@@ -1,0 +1,205 @@
+//! Criterion micro-benchmarks for the substrate and the end-to-end
+//! modeling pipeline. These are performance benchmarks (ns/op), not the
+//! paper-reproduction experiments — those live in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use kooza::{Kooza, WorkloadModel};
+use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+use kooza_markov::{GaussianHmm, MarkovChainBuilder};
+use kooza_queueing::arrival::PoissonArrivals;
+use kooza_queueing::network::{simulate, NetworkConfig, NodeConfig};
+use kooza_sim::rng::Rng64;
+use kooza_sim::{Engine, SimDuration};
+use kooza_stats::dist::{Distribution, Exponential, LogNormal};
+use kooza_stats::fit::FitPipeline;
+use kooza_stats::ks::ks_one_sample;
+use kooza_stats::pca::Pca;
+
+fn bench_sim_engine(c: &mut Criterion) {
+    c.bench_function("sim_engine_100k_events", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            for i in 0..1000u64 {
+                eng.schedule(SimDuration::from_nanos(i), i);
+            }
+            let mut processed = 0u64;
+            while let Some((_, ev)) = eng.next() {
+                processed += 1;
+                if ev < 99_000 {
+                    eng.schedule(SimDuration::from_nanos(10), ev + 1000);
+                }
+            }
+            black_box(processed)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_next_f64_1k", |b| {
+        let mut rng = Rng64::new(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.next_f64();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_ks_test(c: &mut Criterion) {
+    let d = Exponential::new(1.0).unwrap();
+    let mut rng = Rng64::new(2);
+    let data: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+    c.bench_function("ks_one_sample_10k", |b| {
+        b.iter(|| black_box(ks_one_sample(&data, &d).unwrap().statistic))
+    });
+}
+
+fn bench_fit_pipeline(c: &mut Criterion) {
+    let d = LogNormal::new(0.0, 0.8).unwrap();
+    let mut rng = Rng64::new(3);
+    let data: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
+    c.bench_function("fit_pipeline_standard_5k", |b| {
+        b.iter(|| black_box(FitPipeline::standard().run(&data).unwrap().best().family))
+    });
+}
+
+fn bench_markov_train_generate(c: &mut Criterion) {
+    let mut rng = Rng64::new(4);
+    let seq: Vec<usize> = (0..100_000).map(|_| rng.next_bounded(16) as usize).collect();
+    c.bench_function("markov_train_100k", |b| {
+        b.iter(|| {
+            let mut builder = MarkovChainBuilder::new(16);
+            for w in seq.windows(2) {
+                builder.record_transition(w[0], w[1]);
+            }
+            black_box(builder.build().unwrap())
+        })
+    });
+    let mut builder = MarkovChainBuilder::new(16);
+    for w in seq.windows(2) {
+        builder.record_transition(w[0], w[1]);
+    }
+    let chain = builder.build().unwrap();
+    c.bench_function("markov_generate_10k", |b| {
+        let mut rng = Rng64::new(5);
+        b.iter(|| black_box(chain.generate(10_000, &mut rng)))
+    });
+}
+
+fn bench_hmm_baum_welch(c: &mut Criterion) {
+    let source = GaussianHmm::new(
+        vec![vec![0.95, 0.05], vec![0.05, 0.95]],
+        vec![0.5, 0.5],
+        vec![0.0, 10.0],
+        vec![1.0, 1.0],
+    )
+    .unwrap();
+    let mut rng = Rng64::new(6);
+    let (_, obs) = source.generate(2_000, &mut rng);
+    c.bench_function("gaussian_hmm_em_step_2k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = Rng64::new(7);
+                GaussianHmm::init_from_data(2, &obs, &mut rng).unwrap()
+            },
+            |mut model| {
+                model.train(&obs, 1, 1e-12).unwrap();
+                black_box(model)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pca(c: &mut Criterion) {
+    let mut rng = Rng64::new(8);
+    let rows: Vec<Vec<f64>> = (0..2_000)
+        .map(|_| (0..8).map(|_| rng.next_f64()).collect())
+        .collect();
+    c.bench_function("pca_fit_2000x8", |b| {
+        b.iter(|| black_box(Pca::fit(&rows).unwrap()))
+    });
+}
+
+fn bench_queueing_network(c: &mut Criterion) {
+    c.bench_function("mm1_network_sim_20k_jobs", |b| {
+        b.iter(|| {
+            let config = NetworkConfig::tandem(vec![NodeConfig {
+                name: "q".into(),
+                servers: 1,
+                service: Box::new(Exponential::new(10.0).unwrap()),
+            }]);
+            let mut arrivals = PoissonArrivals::new(7.0).unwrap();
+            let mut rng = Rng64::new(9);
+            black_box(simulate(&config, &mut arrivals, 20_000, &mut rng).unwrap().completed)
+        })
+    });
+}
+
+fn bench_gfs_cluster(c: &mut Criterion) {
+    c.bench_function("gfs_simulate_2k_requests", |b| {
+        b.iter(|| {
+            let mut config = ClusterConfig::small();
+            config.workload = WorkloadMix::read_heavy();
+            let mut cluster = Cluster::new(config).unwrap();
+            black_box(cluster.run(2_000, 10).stats.completed)
+        })
+    });
+}
+
+fn bench_kooza_pipeline(c: &mut Criterion) {
+    let mut config = ClusterConfig::small();
+    config.workload = WorkloadMix::read_heavy();
+    let trace = Cluster::new(config).unwrap().run(1_000, 11).trace;
+    c.bench_function("kooza_fit_1k_requests", |b| {
+        b.iter(|| black_box(Kooza::fit(&trace).unwrap().trained_requests()))
+    });
+    let model = Kooza::fit(&trace).unwrap();
+    c.bench_function("kooza_generate_1k", |b| {
+        let mut rng = Rng64::new(12);
+        b.iter(|| black_box(model.generate(1_000, &mut rng).len()))
+    });
+}
+
+fn bench_ad_test(c: &mut Criterion) {
+    let d = Exponential::new(1.0).unwrap();
+    let mut rng = Rng64::new(13);
+    let data: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+    c.bench_function("anderson_darling_10k", |b| {
+        b.iter(|| black_box(kooza_stats::ad::ad_one_sample(&data, &d).unwrap().statistic))
+    });
+}
+
+fn bench_mva(c: &mut Criterion) {
+    let demands = [0.01, 0.02, 0.005, 0.03];
+    c.bench_function("closed_mva_500_customers", |b| {
+        b.iter(|| {
+            black_box(
+                kooza_queueing::mva::closed_mva(500, 1.0, &demands)
+                    .unwrap()
+                    .throughput,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sim_engine,
+    bench_rng,
+    bench_ks_test,
+    bench_ad_test,
+    bench_fit_pipeline,
+    bench_markov_train_generate,
+    bench_hmm_baum_welch,
+    bench_pca,
+    bench_queueing_network,
+    bench_mva,
+    bench_gfs_cluster,
+    bench_kooza_pipeline,
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! EXP-A — Distribution fitting identifies arrival families (Feitelson /
+//! Sengupta).
+//!
+//! §2.1.3: real DC arrival streams "most of the time diverge from the
+//! commonly-used Poisson distribution", and KS-based fitting identifies
+//! the right family. We generate arrivals from known families, run the
+//! fitting pipeline blind, and report the selected family, the KS
+//! statistic, and whether a naive Poisson assumption would have been
+//! accepted.
+
+use kooza_bench::{banner, section, EXPERIMENT_SEED};
+use kooza_queueing::arrival::{
+    arrival_times, ArrivalProcess, MmppArrivals, PoissonArrivals, RenewalArrivals,
+    UserEquivalentArrivals,
+};
+use kooza_sim::rng::Rng64;
+use kooza_stats::dist::{LogNormal, Pareto, Weibull};
+use kooza_stats::fit::{fit_exponential, FitPipeline};
+use kooza_stats::ks::ks_one_sample;
+
+fn gaps(process: &mut dyn ArrivalProcess, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng64::new(seed);
+    let times = arrival_times(process, n, &mut rng);
+    times.windows(2).map(|w| w[1] - w[0]).filter(|&g| g > 0.0).collect()
+}
+
+fn main() {
+    banner("EXP-A", "KS-based distribution fitting of arrival processes");
+    let n = 8000;
+
+    let sources: Vec<(&str, Box<dyn ArrivalProcess>, &str)> = vec![
+        (
+            "poisson (λ=100)",
+            Box::new(PoissonArrivals::new(100.0).unwrap()),
+            "exponential",
+        ),
+        (
+            "lognormal renewal",
+            Box::new(RenewalArrivals::new(Box::new(LogNormal::new(-5.0, 1.0).unwrap()))),
+            "lognormal",
+        ),
+        (
+            "pareto renewal (α=1.5)",
+            Box::new(RenewalArrivals::new(Box::new(Pareto::new(0.001, 1.5).unwrap()))),
+            "pareto",
+        ),
+        (
+            "weibull renewal (k=0.6)",
+            Box::new(RenewalArrivals::new(Box::new(Weibull::new(0.6, 0.01).unwrap()))),
+            "weibull",
+        ),
+        (
+            "MMPP bursty (10/500 switch 1)",
+            Box::new(MmppArrivals::bursty(10.0, 500.0, 1.0).unwrap()),
+            "(non-poisson)",
+        ),
+        (
+            "SURGE user equivalents",
+            Box::new(UserEquivalentArrivals::new(50, 3.0, 6.0, 0.01).unwrap()),
+            "(non-poisson)",
+        ),
+    ];
+
+    section("fitting results");
+    println!(
+        "{:<30} {:<14} {:>9} {:>12} {:>18}",
+        "source", "best fit", "KS D", "p-value", "poisson accepted?"
+    );
+    let mut correct = 0;
+    let mut total_known = 0;
+    for (i, (label, mut process, expected)) in sources.into_iter().enumerate() {
+        let data = gaps(process.as_mut(), n, EXPERIMENT_SEED + i as u64);
+        let report = FitPipeline::timing().run(&data).expect("pipeline runs");
+        let best = report.best();
+        // Would a Poisson assumption survive?
+        let poisson_ok = fit_exponential(&data)
+            .ok()
+            .and_then(|e| ks_one_sample(&data, &e).ok())
+            .map(|t| t.accepts(0.01))
+            .unwrap_or(false);
+        let is_known = !expected.starts_with('(');
+        if is_known {
+            total_known += 1;
+            if best.family == expected {
+                correct += 1;
+            }
+        }
+        println!(
+            "{:<30} {:<14} {:>9.4} {:>12.4} {:>18}",
+            label,
+            best.family,
+            best.ks.statistic,
+            best.ks.p_value,
+            if poisson_ok { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "\nfamily identification accuracy on known sources: {correct}/{total_known}"
+    );
+    println!(
+        "paper claim: arrival traffic frequently diverges from Poisson and the\n\
+         divergence is detectable — the bursty/user-equivalent rows reject the\n\
+         Poisson fit while the true Poisson row accepts it."
+    );
+}

@@ -1,0 +1,83 @@
+//! EXP-D — Model-based clustering + ACF matching (Li).
+//!
+//! §2.1.3: Li's two-phase approach: "Model-Based Clustering in order to
+//! perform the distribution fitting" then "generates autocorrelations that
+//! match the real data to create synthetic workloads." We build a
+//! two-population job stream (interactive + batch) with temporal
+//! correlation, cluster it blind with a BIC-selected Gaussian mixture,
+//! then synthesize with ACF matching and compare marginals and ACF.
+
+use kooza_bench::{banner, section, EXPERIMENT_SEED};
+use kooza_sim::rng::Rng64;
+use kooza_stats::acf::{acf, synthesize_with_acf};
+use kooza_stats::cluster::select_components;
+use kooza_stats::ks::ks_two_sample;
+
+/// A job stream with two correlated populations: (runtime, memory) pairs,
+/// where consecutive jobs tend to come from the same population.
+fn job_stream(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = Rng64::new(seed);
+    let mut interactive = true;
+    (0..n)
+        .map(|_| {
+            if rng.chance(0.1) {
+                interactive = !interactive;
+            }
+            let gauss = |rng: &mut Rng64| {
+                let u1 = rng.next_f64_open();
+                let u2 = rng.next_f64();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            if interactive {
+                vec![0.5 + 0.1 * gauss(&mut rng), 1.0 + 0.2 * gauss(&mut rng)]
+            } else {
+                vec![30.0 + 5.0 * gauss(&mut rng), 8.0 + 1.0 * gauss(&mut rng)]
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    banner("EXP-D", "Model-based clustering + ACF-matched synthesis");
+
+    let jobs = job_stream(4000, EXPERIMENT_SEED);
+    let mut rng = Rng64::new(EXPERIMENT_SEED + 1);
+
+    section("phase 1: model-based clustering (BIC-selected GMM)");
+    let gmm = select_components(&jobs, 5, &mut rng).expect("gmm fits");
+    println!("selected components: {}", gmm.n_components());
+    for (i, (w, m)) in gmm.weights.iter().zip(&gmm.means).enumerate() {
+        println!(
+            "cluster {i}: weight {:.2}, mean runtime {:.2}s, mean memory {:.2}GB",
+            w, m[0], m[1]
+        );
+    }
+
+    section("phase 2: ACF-matched synthetic runtimes");
+    let runtimes: Vec<f64> = jobs.iter().map(|j| j[0]).collect();
+    let synth = synthesize_with_acf(&runtimes, 3, 4000, &mut rng).expect("synthesis");
+
+    let orig_acf = acf(&runtimes, 5).expect("acf");
+    let synth_acf = acf(&synth, 5).expect("acf");
+    println!("{:<8} {:>12} {:>12}", "lag", "original", "synthetic");
+    for lag in 1..=5 {
+        println!("{:<8} {:>12.3} {:>12.3}", lag, orig_acf[lag], synth_acf[lag]);
+    }
+
+    let ks = ks_two_sample(&runtimes, &synth).expect("ks");
+    println!("\nmarginal two-sample KS D = {:.4} (p = {:.3})", ks.statistic, ks.p_value);
+
+    // A naive iid shuffle keeps the marginal but loses all correlation.
+    let mut shuffled = runtimes.clone();
+    rng.shuffle(&mut shuffled);
+    let shuffled_acf = acf(&shuffled, 1).expect("acf");
+    println!(
+        "iid-shuffle baseline ACF(1): {:.3} vs original {:.3} vs ACF-matched {:.3}",
+        shuffled_acf[1], orig_acf[1], synth_acf[1]
+    );
+    println!(
+        "\npaper claim (Li): clustering recovers the job populations and the\n\
+         two-phase generator reproduces both the marginal and the\n\
+         autocorrelation, which an iid resample cannot."
+    );
+}

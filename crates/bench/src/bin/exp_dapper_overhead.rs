@@ -1,0 +1,64 @@
+//! EXP-F — Dapper-style sampling holds tracing overhead under ~1.5%.
+//!
+//! §2.2: Dapper achieves "complete in-depth modeling with marginal
+//! performance overhead (less than 1.5% in all cases)" by sampling 1 of
+//! 1000 requests. The GFS simulator charges a per-span CPU cost on sampled
+//! requests only; we sweep the sampling rate and report the measured CPU
+//! overhead fraction, mean latency impact, and span completeness.
+
+use kooza_bench::{banner, section, EXPERIMENT_SEED};
+use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+
+fn main() {
+    banner("EXP-F", "Trace-sampling rate vs instrumentation overhead");
+
+    let n_requests = 20_000;
+    let base_workload = WorkloadMix {
+        n_chunks: 100_000,
+        zipf_skew: 0.5,
+        ..WorkloadMix::read_heavy()
+    };
+
+    // Baseline: tracing disabled entirely (zero per-span cost).
+    let mut config = ClusterConfig::small();
+    config.workload = base_workload;
+    config.tracing_overhead_secs = 0.0;
+    let mut cluster = Cluster::new(config).expect("config");
+    let baseline = cluster.run(n_requests, EXPERIMENT_SEED);
+    let baseline_latency = baseline.stats.latency_secs.mean();
+
+    section("sampling sweep (per-span CPU cost 10 µs — deliberately heavy)");
+    println!(
+        "{:>10} {:>10} {:>14} {:>16} {:>18}",
+        "sampling", "traced", "CPU overhead", "latency impact", "spans complete?"
+    );
+    for rate in [1u32, 10, 100, 1000] {
+        let mut config = ClusterConfig::small();
+        config.workload = base_workload;
+        config.trace_sampling = rate;
+        config.tracing_overhead_secs = 10e-6;
+        let mut cluster = Cluster::new(config).expect("config");
+        let outcome = cluster.run(n_requests, EXPERIMENT_SEED);
+        let traced = outcome.requests.iter().filter(|r| r.sampled).count();
+        let overhead = outcome.stats.tracing_overhead_fraction() * 100.0;
+        let latency_impact = (outcome.stats.latency_secs.mean() - baseline_latency)
+            / baseline_latency
+            * 100.0;
+        // Completeness: every sampled request yields a full span tree.
+        let trees = outcome.trace.span_trees();
+        let complete = trees.len() == traced;
+        println!(
+            "{:>8}:1 {:>10} {:>13.2}% {:>15.2}% {:>18}",
+            rate,
+            traced,
+            overhead,
+            latency_impact,
+            if complete { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\npaper claim (Dapper): 1/1000 sampling keeps overhead far below\n\
+         1.5% while sampled traces stay complete — the bottom row shows\n\
+         both, even with a per-span cost chosen to make tracing expensive."
+    );
+}

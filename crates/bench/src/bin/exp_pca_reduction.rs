@@ -1,0 +1,86 @@
+//! EXP-H — PCA feature-space reduction keeps models succinct (§4).
+//!
+//! §4: "we can reduce the dimensionality of feature-space, to the ones
+//! necessary for a representative and succinct model, using techniques
+//! like PCA, SVD, sampling, or regression analysis." We build per-request
+//! feature vectors from a GFS trace, sweep the retained component count,
+//! and report explained variance and the reconstruction error of each
+//! feature — showing how few components a per-class workload needs.
+
+use kooza::class::assemble_observations;
+use kooza_bench::{banner, mixed_cluster, run, section};
+use kooza_stats::pca::Pca;
+
+fn main() {
+    banner("EXP-H", "PCA reduction of the per-request feature space");
+
+    let (_, mut cluster) = mixed_cluster();
+    let outcome = run(&mut cluster, 2000);
+    let observations = assemble_observations(&outcome.trace).expect("assembles");
+
+    // Feature vector per request: network in/out, cpu busy, memory bytes,
+    // disk bytes, latency — the joint space KOOZA's classes condition on.
+    let rows: Vec<Vec<f64>> = observations
+        .iter()
+        .map(|o| {
+            vec![
+                o.network_in_bytes as f64,
+                o.network_out_bytes as f64,
+                o.cpu_busy_nanos as f64,
+                o.memory.iter().map(|m| m.1 as f64).sum::<f64>(),
+                o.storage.iter().map(|s| s.1 as f64).sum::<f64>(),
+                o.latency_nanos as f64,
+            ]
+        })
+        .collect();
+    // Standardize features so bytes don't dwarf nanoseconds.
+    let dims = rows[0].len();
+    let means: Vec<f64> =
+        (0..dims).map(|d| rows.iter().map(|r| r[d]).sum::<f64>() / rows.len() as f64).collect();
+    let stds: Vec<f64> = (0..dims)
+        .map(|d| {
+            (rows.iter().map(|r| (r[d] - means[d]).powi(2)).sum::<f64>() / rows.len() as f64)
+                .sqrt()
+                .max(1e-12)
+        })
+        .collect();
+    let standardized: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| r.iter().zip(&means).zip(&stds).map(|((x, m), s)| (x - m) / s).collect())
+        .collect();
+
+    let pca = Pca::fit(&standardized).expect("pca fits");
+
+    section("explained variance by component");
+    let ratios = pca.explained_variance_ratio();
+    let mut cum = 0.0;
+    for (i, r) in ratios.iter().enumerate() {
+        cum += r;
+        println!("component {}: {:>6.1}%  (cumulative {:>6.1}%)", i + 1, r * 100.0, cum * 100.0);
+    }
+    println!(
+        "components for 95% variance: {}",
+        pca.components_for_variance(0.95)
+    );
+
+    section("reconstruction RMSE (standardized units) vs retained components");
+    println!("{:>12} {:>12}", "components", "RMSE");
+    for k in 1..=dims {
+        let mut sq = 0.0;
+        let mut count = 0usize;
+        for row in &standardized {
+            let scores = pca.transform(row, k).expect("transform");
+            let back = pca.inverse_transform(&scores).expect("inverse");
+            for (a, b) in row.iter().zip(&back) {
+                sq += (a - b) * (a - b);
+                count += 1;
+            }
+        }
+        println!("{:>12} {:>12.4}", k, (sq / count as f64).sqrt());
+    }
+    println!(
+        "\npaper claim (§4): a handful of components captures the feature\n\
+         space — request classes live on a low-dimensional manifold, so the\n\
+         per-class models stay succinct."
+    );
+}

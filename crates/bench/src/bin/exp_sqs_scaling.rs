@@ -1,0 +1,68 @@
+//! EXP-E — SQS: sampled stochastic queueing simulation scales (Meisner et
+//! al.).
+//!
+//! §2.2: "SQS scales well, without significant overhead with appropriate
+//! tuning of the sampling parameters." We characterize a queueing workload
+//! from observations, sweep the characterization sampling rate, and report
+//! the latency-estimate error versus the volume of data retained.
+
+use kooza_bench::{banner, section, EXPERIMENT_SEED};
+use kooza_queueing::sqs::SqsModel;
+use kooza_sim::rng::Rng64;
+use kooza_stats::dist::{Distribution, Exponential, LogNormal};
+
+fn main() {
+    banner("EXP-E", "SQS sampling rate vs latency-estimate error");
+
+    // Observation stream: Poisson arrivals, lognormal service (a shape
+    // Poisson-fit tools would get wrong — SQS's empirical models don't care).
+    let mut rng = Rng64::new(EXPERIMENT_SEED);
+    let gap = Exponential::with_mean(0.010).unwrap();
+    let service = LogNormal::new(-5.4, 0.8).unwrap(); // mean ≈ 6.2 ms
+    let interarrivals: Vec<f64> = (0..100_000).map(|_| gap.sample(&mut rng)).collect();
+    let services: Vec<f64> = (0..100_000).map(|_| service.sample(&mut rng)).collect();
+
+    let full = SqsModel::characterize(&interarrivals, &services).expect("characterize");
+    let mut sim_rng = Rng64::new(EXPERIMENT_SEED + 1);
+    let reference = full
+        .latency_summary(1, 120_000, &mut sim_rng)
+        .expect("reference simulation");
+
+    section(&format!(
+        "reference (full characterization, {} observations): mean latency {:.3} ms, p99 {:.3} ms, rho {:.2}",
+        full.observed(),
+        reference.mean * 1e3,
+        reference.p99 * 1e3,
+        full.offered_rho(1)
+    ));
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "sampling", "kept obs", "mean (ms)", "p99 (ms)", "mean err", "p99 err"
+    );
+    for rate in [1usize, 5, 20, 100, 500, 2000] {
+        let model = SqsModel::characterize_sampled(&interarrivals, &services, rate)
+            .expect("characterize");
+        let mut sim_rng = Rng64::new(EXPERIMENT_SEED + 1);
+        let summary = model
+            .latency_summary(1, 120_000, &mut sim_rng)
+            .expect("simulation");
+        let mean_err = (summary.mean - reference.mean).abs() / reference.mean * 100.0;
+        let p99_err = (summary.p99 - reference.p99).abs() / reference.p99 * 100.0;
+        println!(
+            "{:>9}x {:>14} {:>14.3} {:>14.3} {:>11.1}% {:>11.1}%",
+            rate,
+            model.observed(),
+            summary.mean * 1e3,
+            summary.p99 * 1e3,
+            mean_err,
+            p99_err
+        );
+    }
+    println!(
+        "\npaper claim (Meisner et al.): aggressive sampling of the\n\
+         characterization stream barely moves the latency estimates — the\n\
+         error stays in single digits until the sample starves (rightmost\n\
+         rows), which is what lets SQS scale to thousands of machines."
+    );
+}

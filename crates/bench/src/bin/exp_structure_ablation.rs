@@ -1,0 +1,78 @@
+//! EXP-G — Ablating the time-dependency queue ("invalid stressing").
+//!
+//! §3.1: without structure, a per-subsystem model "can result in invalid
+//! stressing of the system, which renders the model inaccurate." KOOZA
+//! with the structure queue vs the same four subsystem models without it
+//! (the in-breadth baseline) — trained on the same trace, replayed on the
+//! same hardware, compared on latency-distribution fidelity and disk
+//! demand.
+
+use kooza::class::assemble_observations;
+use kooza::{InBreadthModel, Kooza, ReplayConfig, WorkloadModel};
+use kooza_bench::{banner, mixed_cluster, run, section, EXPERIMENT_SEED};
+use kooza_sim::rng::Rng64;
+use kooza_stats::ks::ks_two_sample;
+use kooza_stats::summary::percentile;
+
+fn main() {
+    banner("EXP-G", "Structure-queue ablation: KOOZA vs structure-blind model");
+
+    let (config, mut cluster) = mixed_cluster();
+    let outcome = run(&mut cluster, 2500);
+    let observations = assemble_observations(&outcome.trace).expect("assembles");
+    let original: Vec<f64> = observations
+        .iter()
+        .map(|o| o.latency_nanos as f64 / 1e9)
+        .collect();
+    let orig_disk_bytes: f64 = observations
+        .iter()
+        .map(|o| o.storage.iter().map(|s| s.1 as f64).sum::<f64>())
+        .sum::<f64>()
+        / observations.len() as f64;
+
+    let kooza = Kooza::fit(&outcome.trace).expect("kooza");
+    let blind = InBreadthModel::fit(&outcome.trace).expect("in-breadth");
+
+    section("latency-distribution fidelity (replayed with contention)");
+    println!(
+        "{:>14} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "model", "KS D", "mean (ms)", "p99 (ms)", "disk B/req", "disk overdrive"
+    );
+    let orig_mean = original.iter().sum::<f64>() / original.len() as f64;
+    println!(
+        "{:>14} {:>10} {:>12.2} {:>12.2} {:>14.0} {:>14}",
+        "original",
+        "-",
+        orig_mean * 1e3,
+        percentile(&original, 99.0) * 1e3,
+        orig_disk_bytes,
+        "-"
+    );
+    for model in [&kooza as &dyn WorkloadModel, &blind] {
+        let mut rng = Rng64::new(EXPERIMENT_SEED + 3);
+        let synth = model.generate(2500, &mut rng);
+        let replayed = kooza::replay_loaded_latency_secs(&synth, ReplayConfig::from(&config));
+        let ks = ks_two_sample(&original, &replayed).expect("ks").statistic;
+        let mean = replayed.iter().sum::<f64>() / replayed.len() as f64;
+        let disk_bytes: f64 = synth
+            .iter()
+            .map(|r| r.disk_demand().map(|(b, _)| b as f64).unwrap_or(0.0))
+            .sum::<f64>()
+            / synth.len() as f64;
+        println!(
+            "{:>14} {:>10.4} {:>12.2} {:>12.2} {:>14.0} {:>13.2}x",
+            model.name(),
+            ks,
+            mean * 1e3,
+            percentile(&replayed, 99.0) * 1e3,
+            disk_bytes,
+            disk_bytes / orig_disk_bytes
+        );
+    }
+    println!(
+        "\npaper claim (§3.1): the ablated model over-stresses the disk (it\n\
+         cannot see cache-absorbed reads) and mixes read/write demands\n\
+         within single requests, distorting the latency distribution; the\n\
+         structure queue is what fixes both."
+    );
+}

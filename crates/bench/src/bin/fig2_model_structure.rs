@@ -1,0 +1,70 @@
+//! FIG2 — The complete KOOZA workload model for one user request.
+//!
+//! The paper's Figure 2 draws the trained model: a CPU Markov chain over
+//! utilization states, a storage Markov chain over LBN ranges, a memory
+//! Markov chain over banks, and the network queueing model, chained by the
+//! structure queue. This binary trains KOOZA on a GFS trace and prints
+//! those four models plus the learned structure — the textual rendering of
+//! the figure.
+
+use kooza::Kooza;
+use kooza_bench::{banner, read_64k_cluster, run, section};
+use kooza_markov::MarkovChain;
+
+fn print_chain(label: &str, chain: &MarkovChain, max_states: usize) {
+    section(label);
+    let n = chain.n_states().min(max_states);
+    if chain.n_states() > max_states {
+        println!("(showing the first {max_states} of {} states)", chain.n_states());
+    }
+    print!("{:>8}", "");
+    for j in 0..n {
+        print!("{j:>7}");
+    }
+    println!();
+    for i in 0..n {
+        print!("{i:>8}");
+        for j in 0..n {
+            print!("{:>7.3}", chain.transition_probability(i, j));
+        }
+        println!();
+    }
+    if let Ok(pi) = chain.stationary() {
+        let head: Vec<String> = pi.iter().take(n).map(|p| format!("{p:.3}")).collect();
+        println!("stationary: [{}]", head.join(", "));
+    }
+}
+
+fn main() {
+    banner("FIG2", "Complete KOOZA workload model for one user request");
+
+    let (_, mut cluster) = read_64k_cluster();
+    let outcome = run(&mut cluster, 2000);
+    let model = Kooza::fit(&outcome.trace).expect("model trains");
+
+    section("network queueing model");
+    println!(
+        "inter-arrival family: {} | mean rate: {:.1} req/s",
+        model.network().interarrival_family(),
+        model.network().mean_rate()
+    );
+
+    print_chain("CPU Markov model (utilization bins)", model.cpu().chain(), 10);
+    if let Some(mem) = model.memory() {
+        print_chain("memory Markov model (banks)", mem.chain(), 8);
+        println!("read fraction: {:.2}", mem.read_fraction());
+    }
+    if let Some(disk) = model.storage() {
+        print_chain("storage Markov model (LBN buckets)", disk.chain(), 8);
+        println!("read fraction: {:.2}", disk.read_fraction());
+    }
+
+    section("structure queue (time dependencies)");
+    for class in model.structure().classes() {
+        println!(
+            "[{:>5.1}%] {}",
+            class.probability * 100.0,
+            class.signature
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! The `kooza` CLI: the end-to-end workflow — simulate → characterize →
+//! fit → validate → cross-examine — without writing code.
+//!
+//! ```text
+//! kooza simulate --out trace.jsonl --requests 2000 --workload read
+//! kooza characterize --trace trace.jsonl
+//! kooza fit --trace trace.jsonl
+//! kooza validate --trace trace.jsonl
+//! kooza crossexam --trace trace.jsonl
+//! ```
+//!
+//! Every command is a pure function from arguments to a report string, so
+//! the whole surface is unit-testable.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::path::Path;
+
+use kooza::class::assemble_observations;
+use kooza::crossexam::cross_examine;
+use kooza::validate::validate;
+use kooza::{InBreadthModel, InDepthModel, Kooza, ReplayConfig, WorkloadModel};
+use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+use kooza_sim::rng::Rng64;
+use kooza_trace::characterize::{arrival_profile, cpu_profile, memory_profile, storage_profile};
+use kooza_trace::TraceSet;
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage: kooza <command> [options]
+
+commands:
+  simulate     --out <path> [--requests N] [--seed S] [--workload read|write|mixed]
+               [--servers K] [--consult-master]
+               run the GFS simulator and write a JSONL trace
+  characterize --trace <path>
+               per-subsystem workload profiles of a trace
+  fit          --trace <path>
+               train the KOOZA model and print its structure
+  validate     --trace <path> [--n N] [--seed S]
+               train, generate, and compare features/latency (Table 2)
+  crossexam    --trace <path> [--n N] [--seed S]
+               score kooza vs in-breadth vs in-depth on this trace (Table 1)";
+
+/// A CLI failure: bad arguments or a failing pipeline stage.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed `--key value` / `--flag` options.
+struct Options {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(err(format!("unexpected argument `{arg}`")));
+            };
+            // Boolean flags take no value; everything else takes one.
+            if key == "consult-master" {
+                flags.push(key.to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| err(format!("--{key} needs a value")))?;
+                values.insert(key.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Options { values, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| err(format!("missing required option --{key}")))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("--{key}: cannot parse `{v}`"))),
+        }
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Runs a CLI invocation; returns the report to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown commands, bad options, unreadable
+/// traces, or failing pipeline stages.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (command, rest) = args.split_first().ok_or_else(|| err("no command given"))?;
+    let opts = Options::parse(rest)?;
+    match command.as_str() {
+        "simulate" => simulate(&opts),
+        "characterize" => characterize(&opts),
+        "fit" => fit(&opts),
+        "validate" => validate_cmd(&opts),
+        "crossexam" => crossexam(&opts),
+        other => Err(err(format!("unknown command `{other}`"))),
+    }
+}
+
+fn workload_by_name(name: &str) -> Result<WorkloadMix, CliError> {
+    match name {
+        "read" => Ok(WorkloadMix::read_heavy()),
+        "write" => Ok(WorkloadMix::write_heavy()),
+        "mixed" => Ok(WorkloadMix::mixed()),
+        other => Err(err(format!("--workload must be read|write|mixed, got `{other}`"))),
+    }
+}
+
+fn load_trace(opts: &Options) -> Result<(TraceSet, String), CliError> {
+    let path = opts.require("trace")?;
+    let file = File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
+    let trace =
+        TraceSet::read_jsonl(file).map_err(|e| err(format!("cannot parse {path}: {e}")))?;
+    Ok((trace, path.to_string()))
+}
+
+fn simulate(opts: &Options) -> Result<String, CliError> {
+    let out = opts.require("out")?;
+    let requests: u64 = opts.parse_num("requests", 1000)?;
+    let seed: u64 = opts.parse_num("seed", 1)?;
+    let servers: usize = opts.parse_num("servers", 1)?;
+    let workload = workload_by_name(opts.get("workload").unwrap_or("mixed"))?;
+
+    let mut config = if servers > 1 {
+        ClusterConfig::cluster(servers)
+    } else {
+        ClusterConfig::small()
+    };
+    config.workload = workload;
+    config.consult_master = opts.has_flag("consult-master");
+    let mut cluster = Cluster::new(config).map_err(|e| err(e.to_string()))?;
+    let outcome = cluster.run(requests, seed);
+
+    let file = File::create(out).map_err(|e| err(format!("cannot create {out}: {e}")))?;
+    outcome
+        .trace
+        .write_jsonl(file)
+        .map_err(|e| err(format!("cannot write {out}: {e}")))?;
+    Ok(format!(
+        "simulated {} requests on {} server(s) (seed {seed})\n\
+         throughput {:.1} req/s | mean latency {:.3} ms | cache hit {:.1}%\n\
+         wrote {} records to {out}",
+        outcome.stats.completed,
+        servers,
+        outcome.stats.throughput_per_sec(),
+        outcome.stats.latency_secs.mean() * 1e3,
+        outcome.stats.cache_hit_ratio.first().copied().unwrap_or(0.0) * 100.0,
+        outcome.trace.len(),
+    ))
+}
+
+fn characterize(opts: &Options) -> Result<String, CliError> {
+    let (trace, path) = load_trace(opts)?;
+    let mut out = format!("characterization of {path}\n");
+    match arrival_profile(&trace.network) {
+        Ok(a) => {
+            out += &format!(
+                "\nnetwork : {} arrivals at {:.1} req/s, burstiness cv2 {:.2}\n",
+                a.count,
+                a.rate_per_sec,
+                a.burstiness_cv2.unwrap_or(f64::NAN)
+            );
+        }
+        Err(e) => out += &format!("\nnetwork : {e}\n"),
+    }
+    match cpu_profile(&trace.cpu) {
+        Ok(c) => {
+            out += &format!(
+                "cpu     : mean {:.2}% p99 {:.2}% pattern {:?}\n",
+                c.utilization.mean * 100.0,
+                c.utilization.p99 * 100.0,
+                c.pattern
+            );
+        }
+        Err(e) => out += &format!("cpu     : {e}\n"),
+    }
+    match memory_profile(&trace.memory) {
+        Ok(m) => {
+            out += &format!(
+                "memory  : {} accesses, read {:.0}%, same-bank locality {:.2}\n",
+                m.count,
+                m.read_fraction * 100.0,
+                m.same_bank_fraction
+            );
+        }
+        Err(e) => out += &format!("memory  : {e}\n"),
+    }
+    match storage_profile(&trace.storage) {
+        Ok(s) => {
+            out += &format!(
+                "storage : {} I/Os, read {:.0}%, mean size {:.0} B, sequential {:.1}%\n",
+                s.count,
+                s.read_fraction * 100.0,
+                s.mean_size,
+                s.sequential_fraction * 100.0
+            );
+        }
+        Err(e) => out += &format!("storage : {e}\n"),
+    }
+    Ok(out)
+}
+
+fn fit(opts: &Options) -> Result<String, CliError> {
+    let (trace, path) = load_trace(opts)?;
+    let model = Kooza::fit(&trace).map_err(|e| err(e.to_string()))?;
+    let mut out = format!(
+        "KOOZA model trained on {} requests from {path}\n\
+         network : {} inter-arrivals at {:.1} req/s\n\
+         params  : {}\n\
+         classes :\n",
+        model.trained_requests(),
+        model.network().interarrival_family(),
+        model.network().mean_rate(),
+        model.parameter_count(),
+    );
+    for class in model.structure().classes() {
+        out += &format!("  [{:>5.1}%] {}\n", class.probability * 100.0, class.signature);
+    }
+    Ok(out)
+}
+
+fn validate_cmd(opts: &Options) -> Result<String, CliError> {
+    let (trace, path) = load_trace(opts)?;
+    let n: usize = opts.parse_num("n", 1000)?;
+    let seed: u64 = opts.parse_num("seed", 1)?;
+    let observations = assemble_observations(&trace).map_err(|e| err(e.to_string()))?;
+    let model = Kooza::fit(&trace).map_err(|e| err(e.to_string()))?;
+    let mut rng = Rng64::new(seed);
+    let synthetic = model.generate(n, &mut rng);
+    let report = validate(&model, &observations, &synthetic, ReplayConfig::default());
+    Ok(format!(
+        "validation of {path} ({n} synthetic requests, seed {seed})\n{}\
+         max feature variation {:.2}% | latency variation {:.2}%",
+        report.render(),
+        report.max_feature_variation(),
+        report.latency_variation().unwrap_or(f64::NAN)
+    ))
+}
+
+fn crossexam(opts: &Options) -> Result<String, CliError> {
+    let (trace, path) = load_trace(opts)?;
+    let n: usize = opts.parse_num("n", 1000)?;
+    let seed: u64 = opts.parse_num("seed", 1)?;
+    let observations = assemble_observations(&trace).map_err(|e| err(e.to_string()))?;
+    let kooza = Kooza::fit(&trace).map_err(|e| err(e.to_string()))?;
+    let inb = InBreadthModel::fit(&trace).map_err(|e| err(e.to_string()))?;
+    let ind = InDepthModel::fit(&trace).map_err(|e| err(e.to_string()))?;
+    let table = cross_examine(
+        &[&inb, &ind, &kooza],
+        &observations,
+        ReplayConfig::default(),
+        n,
+        seed,
+    );
+    Ok(format!("cross-examination of {path}\n{}", table.render()))
+}
+
+/// Test helper: a writable temp-file path unique to the test.
+#[doc(hidden)]
+pub fn temp_path(tag: &str) -> String {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    dir.join(format!("kooza-cli-{tag}-{pid}.jsonl"))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[doc(hidden)]
+pub fn cleanup(path: &str) {
+    let _ = std::fs::remove_file(Path::new(path));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn full_pipeline_through_the_cli() {
+        let path = temp_path("pipeline");
+        let out = run(&args(&format!(
+            "simulate --out {path} --requests 500 --seed 9 --workload read"
+        )))
+        .unwrap();
+        assert!(out.contains("simulated 500 requests"), "{out}");
+
+        let out = run(&args(&format!("characterize --trace {path}"))).unwrap();
+        assert!(out.contains("network"), "{out}");
+        assert!(out.contains("storage"), "{out}");
+
+        let out = run(&args(&format!("fit --trace {path}"))).unwrap();
+        assert!(out.contains("KOOZA model trained on 500 requests"), "{out}");
+        assert!(out.contains("network.in"), "{out}");
+
+        let out = run(&args(&format!("validate --trace {path} --n 500 --seed 2"))).unwrap();
+        assert!(out.contains("max feature variation"), "{out}");
+
+        let out = run(&args(&format!("crossexam --trace {path} --n 300 --seed 3"))).unwrap();
+        assert!(out.contains("kooza"), "{out}");
+        assert!(out.contains("in-breadth"), "{out}");
+        assert!(out.contains("in-depth"), "{out}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn simulate_multi_server_with_master() {
+        let path = temp_path("multiserver");
+        let out = run(&args(&format!(
+            "simulate --out {path} --requests 200 --servers 3 --consult-master --workload mixed"
+        )))
+        .unwrap();
+        assert!(out.contains("3 server(s)"), "{out}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&[]).is_err());
+        assert!(run(&args("frobnicate")).is_err());
+        assert!(run(&args("simulate")).is_err()); // missing --out
+        assert!(run(&args("simulate --out /tmp/x --workload nope")).is_err());
+        assert!(run(&args("validate --trace /nonexistent/path.jsonl")).is_err());
+        assert!(run(&args("simulate --requests")).is_err()); // value missing
+        assert!(run(&args("simulate --out /tmp/x --requests abc")).is_err());
+        assert!(run(&args("simulate stray")).is_err());
+    }
+
+    #[test]
+    fn deterministic_simulation_output() {
+        let p1 = temp_path("det1");
+        let p2 = temp_path("det2");
+        run(&args(&format!("simulate --out {p1} --requests 100 --seed 4"))).unwrap();
+        run(&args(&format!("simulate --out {p2} --requests 100 --seed 4"))).unwrap();
+        let a = std::fs::read_to_string(&p1).unwrap();
+        let b = std::fs::read_to_string(&p2).unwrap();
+        assert_eq!(a, b);
+        cleanup(&p1);
+        cleanup(&p2);
+    }
+}

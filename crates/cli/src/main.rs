@@ -1,0 +1,19 @@
+//! The `kooza` command-line tool. All logic lives in the library so it can
+//! be tested; this binary only adapts stdin/stdout/exit codes.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match kooza_cli::run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{}", kooza_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

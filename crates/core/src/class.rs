@@ -1,0 +1,269 @@
+//! Per-request observation assembly and request classification.
+//!
+//! Models train on *requests*, not raw record streams; this module joins
+//! the four per-subsystem streams and the span tree of each request id
+//! (the Dapper global-identifier discipline makes that join possible) into
+//! a [`RequestObservation`], and derives the request's structural
+//! *class* — its phase sequence signature. Classes are what KOOZA's
+//! time-dependency queue is built from.
+
+use std::collections::BTreeMap;
+
+use kooza_trace::record::{Direction, IoOp};
+use kooza_trace::TraceSet;
+
+use crate::{ModelError, Result};
+
+/// The structural signature of a request: its leaf-phase sequence.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassSignature(pub Vec<String>);
+
+impl std::fmt::Display for ClassSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0.join(" → "))
+    }
+}
+
+/// Everything observed about one request across all subsystems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestObservation {
+    /// Global request id.
+    pub request_id: u64,
+    /// Arrival time, nanoseconds.
+    pub arrival_nanos: u64,
+    /// Ingress payload bytes.
+    pub network_in_bytes: u64,
+    /// Egress payload bytes (0 if the egress record is missing).
+    pub network_out_bytes: u64,
+    /// Total CPU busy nanoseconds.
+    pub cpu_busy_nanos: u64,
+    /// CPU utilization over the request lifetime, `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Memory accesses: (bank, bytes, op).
+    pub memory: Vec<(u32, u64, IoOp)>,
+    /// Storage accesses: (lbn, bytes, op).
+    pub storage: Vec<(u64, u64, IoOp)>,
+    /// End-to-end latency from the span tree, nanoseconds.
+    pub latency_nanos: u64,
+    /// Leaf phase names in execution order.
+    pub phase_sequence: Vec<String>,
+    /// Leaf phase durations in nanoseconds, aligned with
+    /// [`phase_sequence`](Self::phase_sequence).
+    pub phase_durations_nanos: Vec<u64>,
+}
+
+impl RequestObservation {
+    /// The request's structural class: the phase sequence with memory and
+    /// storage phases suffixed by their access type (`disk.r`/`disk.w`),
+    /// so a read pipeline and a write pipeline with the same phase names
+    /// are distinct classes — they stress the subsystems differently.
+    pub fn signature(&self) -> ClassSignature {
+        let mem_suffix = majority_suffix(self.memory.iter().map(|m| m.2));
+        let disk_suffix = majority_suffix(self.storage.iter().map(|s| s.2));
+        ClassSignature(
+            self.phase_sequence
+                .iter()
+                .map(|p| match p.as_str() {
+                    "memory" => format!("memory{mem_suffix}"),
+                    "disk" => format!("disk{disk_suffix}"),
+                    other => other.to_string(),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// `.r` / `.w` by majority op, empty when there are no accesses.
+fn majority_suffix(ops: impl Iterator<Item = IoOp>) -> &'static str {
+    let mut reads = 0usize;
+    let mut writes = 0usize;
+    for op in ops {
+        match op {
+            IoOp::Read => reads += 1,
+            IoOp::Write => writes += 1,
+        }
+    }
+    if reads == 0 && writes == 0 {
+        ""
+    } else if reads >= writes {
+        ".r"
+    } else {
+        ".w"
+    }
+}
+
+/// Joins a trace into per-request observations, ordered by arrival.
+///
+/// Only requests with a complete span tree are returned (exactly the set a
+/// Dapper-style sampled deployment would yield).
+///
+/// # Errors
+///
+/// Returns [`ModelError::MissingStream`] if the trace has no network
+/// records, or [`ModelError::InsufficientRequests`] if no request has a
+/// complete span tree.
+pub fn assemble_observations(trace: &TraceSet) -> Result<Vec<RequestObservation>> {
+    if trace.network.is_empty() {
+        return Err(ModelError::MissingStream("network"));
+    }
+    let mut by_request: BTreeMap<u64, RequestObservation> = BTreeMap::new();
+    for tree in trace.span_trees() {
+        let id = tree.trace_id().0;
+        let phases = tree.phase_sequence();
+        let mut durations = Vec::with_capacity(phases.len());
+        let mut leaves: Vec<&kooza_trace::Span> = tree
+            .spans()
+            .filter(|s| tree.children(s.span_id).is_empty())
+            .collect();
+        leaves.sort_by_key(|s| (s.start_nanos, s.span_id));
+        for leaf in &leaves {
+            durations.push(leaf.duration_nanos());
+        }
+        by_request.insert(
+            id,
+            RequestObservation {
+                request_id: id,
+                arrival_nanos: tree.root().start_nanos,
+                network_in_bytes: 0,
+                network_out_bytes: 0,
+                cpu_busy_nanos: 0,
+                cpu_utilization: 0.0,
+                memory: Vec::new(),
+                storage: Vec::new(),
+                latency_nanos: tree.total_latency_nanos(),
+                phase_sequence: phases.iter().map(|s| s.to_string()).collect(),
+                phase_durations_nanos: durations,
+            },
+        );
+    }
+    if by_request.is_empty() {
+        return Err(ModelError::InsufficientRequests { needed: 1, got: 0 });
+    }
+    for r in &trace.network {
+        if let Some(obs) = by_request.get_mut(&r.request_id) {
+            match r.direction {
+                Direction::Ingress => obs.network_in_bytes += r.size,
+                Direction::Egress => obs.network_out_bytes += r.size,
+            }
+        }
+    }
+    for r in &trace.cpu {
+        if let Some(obs) = by_request.get_mut(&r.request_id) {
+            obs.cpu_busy_nanos += r.busy_nanos;
+            obs.cpu_utilization = r.utilization;
+        }
+    }
+    for r in &trace.memory {
+        if let Some(obs) = by_request.get_mut(&r.request_id) {
+            obs.memory.push((r.bank, r.size, r.op));
+        }
+    }
+    for r in &trace.storage {
+        if let Some(obs) = by_request.get_mut(&r.request_id) {
+            obs.storage.push((r.lbn, r.size, r.op));
+        }
+    }
+    let mut out: Vec<RequestObservation> = by_request.into_values().collect();
+    out.sort_by_key(|o| (o.arrival_nanos, o.request_id));
+    Ok(out)
+}
+
+/// Groups observations by class signature, most frequent class first.
+pub fn group_by_class(
+    observations: &[RequestObservation],
+) -> Vec<(ClassSignature, Vec<&RequestObservation>)> {
+    let mut groups: BTreeMap<ClassSignature, Vec<&RequestObservation>> = BTreeMap::new();
+    for obs in observations {
+        groups.entry(obs.signature()).or_default().push(obs);
+    }
+    let mut out: Vec<(ClassSignature, Vec<&RequestObservation>)> = groups.into_iter().collect();
+    out.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+
+    fn gfs_trace(mix: WorkloadMix, n: u64) -> TraceSet {
+        let mut config = ClusterConfig::small();
+        config.workload = mix;
+        Cluster::new(config).unwrap().run(n, 11).trace
+    }
+
+    #[test]
+    fn assembles_every_traced_request() {
+        let trace = gfs_trace(WorkloadMix::read_heavy(), 200);
+        let obs = assemble_observations(&trace).unwrap();
+        assert_eq!(obs.len(), 200);
+        for o in &obs {
+            // Reads: 1 KB request header in, 64 KB payload out.
+            assert_eq!(o.network_in_bytes, 1024);
+            assert_eq!(o.network_out_bytes, 64 * 1024);
+            assert!(o.latency_nanos > 0);
+            assert!(o.cpu_busy_nanos > 0);
+            assert!(!o.phase_sequence.is_empty());
+            assert_eq!(o.phase_sequence.len(), o.phase_durations_nanos.len());
+            assert_eq!(o.memory.len(), 1);
+        }
+    }
+
+    #[test]
+    fn observations_sorted_by_arrival() {
+        let trace = gfs_trace(WorkloadMix::mixed(), 150);
+        let obs = assemble_observations(&trace).unwrap();
+        for w in obs.windows(2) {
+            assert!(w[0].arrival_nanos <= w[1].arrival_nanos);
+        }
+    }
+
+    #[test]
+    fn classes_separate_hits_from_misses() {
+        // A hot working set produces both cache-hit (5-phase) and miss
+        // (6-phase) classes.
+        let mix = WorkloadMix { n_chunks: 40, ..WorkloadMix::read_heavy() };
+        let trace = gfs_trace(mix, 500);
+        let obs = assemble_observations(&trace).unwrap();
+        let groups = group_by_class(&obs);
+        assert!(groups.len() >= 2, "classes: {}", groups.len());
+        let lens: Vec<usize> = groups.iter().map(|(sig, _)| sig.0.len()).collect();
+        assert!(lens.contains(&5) && lens.contains(&6), "lens {lens:?}");
+        // Most frequent first.
+        for w in groups.windows(2) {
+            assert!(w[0].1.len() >= w[1].1.len());
+        }
+        // Storage records only on the miss class.
+        for (sig, members) in &groups {
+            let has_disk = sig.0.iter().any(|p| p.starts_with("disk"));
+            for m in members {
+                assert_eq!(!m.storage.is_empty(), has_disk, "sig {sig}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_errors() {
+        let trace = TraceSet::new();
+        assert!(matches!(
+            assemble_observations(&trace),
+            Err(ModelError::MissingStream(_))
+        ));
+    }
+
+    #[test]
+    fn trace_without_spans_errors() {
+        let mut trace = gfs_trace(WorkloadMix::read_heavy(), 10);
+        trace.spans.clear();
+        assert!(matches!(
+            assemble_observations(&trace),
+            Err(ModelError::InsufficientRequests { .. })
+        ));
+    }
+
+    #[test]
+    fn signature_display() {
+        let sig = ClassSignature(vec!["a".into(), "b".into()]);
+        assert_eq!(sig.to_string(), "a → b");
+    }
+}

@@ -1,0 +1,272 @@
+//! The quantitative cross-examination behind the paper's Table 1.
+//!
+//! The paper scores in-breadth, in-depth and KOOZA qualitatively on seven
+//! criteria. This harness computes the measurable ones on a common
+//! workload and derives the checkmarks:
+//!
+//! * **Request features** — mean relative error of per-subsystem feature
+//!   means (network size, CPU busy, memory size, storage size).
+//! * **Time dependencies** — two-sample KS distance between the original
+//!   latency distribution and the replayed synthetic latency distribution
+//!   (mis-ordered or de-correlated phases distort per-request latency).
+//! * **Ease-of-use** — trained parameter count (the paper: "f(Model
+//!   Complexity)").
+//! * **Completeness** — both of the first two.
+
+use kooza_sim::rng::Rng64;
+use kooza_stats::ks::ks_two_sample;
+
+use crate::class::RequestObservation;
+use crate::replay::{replay_loaded_latency_secs, ReplayConfig};
+use crate::WorkloadModel;
+
+/// Feature-fidelity threshold (mean relative error) for a ✓.
+pub const FEATURE_ERROR_CHECK: f64 = 0.05;
+/// Latency-distribution KS threshold for a ✓.
+pub const LATENCY_KS_CHECK: f64 = 0.15;
+
+/// One model's scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossExamRow {
+    /// Model name.
+    pub model: String,
+    /// Mean relative error of feature means (0 = perfect, 1 = absent).
+    pub feature_error: f64,
+    /// KS statistic between original and synthetic latency distributions.
+    pub latency_ks: f64,
+    /// Trained free-parameter count.
+    pub parameter_count: usize,
+    /// Declared: models per-subsystem request features.
+    pub claims_features: bool,
+    /// Declared: models execution structure.
+    pub claims_time_deps: bool,
+}
+
+impl CrossExamRow {
+    /// Measured ✓ on request features.
+    pub fn features_check(&self) -> bool {
+        self.feature_error < FEATURE_ERROR_CHECK
+    }
+
+    /// Measured ✓ on time dependencies.
+    pub fn time_deps_check(&self) -> bool {
+        self.latency_ks < LATENCY_KS_CHECK
+    }
+
+    /// Measured ✓ on completeness (both).
+    pub fn completeness_check(&self) -> bool {
+        self.features_check() && self.time_deps_check()
+    }
+}
+
+/// The full cross-examination result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossExamTable {
+    /// One row per model.
+    pub rows: Vec<CrossExamRow>,
+}
+
+impl CrossExamTable {
+    /// Renders the Table-1-style checkmark table plus the measured numbers.
+    pub fn render(&self) -> String {
+        let mark = |b: bool| if b { "✓" } else { "✗" };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>12} {:>10} {:>9} {:>9} {:>13}\n",
+            "Model", "FeatureErr", "LatencyKS", "Params", "Features", "TimeDeps", "Completeness"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<12} {:>13.1}% {:>12.4} {:>10} {:>9} {:>9} {:>13}\n",
+                r.model,
+                r.feature_error * 100.0,
+                r.latency_ks,
+                r.parameter_count,
+                mark(r.features_check()),
+                mark(r.time_deps_check()),
+                mark(r.completeness_check()),
+            ));
+        }
+        out
+    }
+}
+
+fn mean<I: Iterator<Item = f64>>(iter: I) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for x in iter {
+        sum += x;
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+fn feature_error(observations: &[RequestObservation], synth: &[crate::SyntheticRequest]) -> f64 {
+    let mut errors = Vec::new();
+    let rel = |orig: Option<f64>, gen: Option<f64>| -> Option<f64> {
+        match (orig, gen) {
+            (Some(o), Some(g)) if o != 0.0 => Some(((g - o) / o).abs().min(1.0)),
+            (Some(_), None) => Some(1.0), // feature absent from the model
+            _ => None,
+        }
+    };
+    // Network payload size.
+    if let Some(e) = rel(
+        mean(
+            observations
+                .iter()
+                .map(|o| o.network_in_bytes.max(o.network_out_bytes) as f64),
+        ),
+        mean(synth.iter().map(|r| r.payload_bytes() as f64)).filter(|&m| m > 0.0),
+    ) {
+        errors.push(e);
+    }
+    // CPU busy.
+    if let Some(e) = rel(
+        mean(observations.iter().map(|o| o.cpu_busy_nanos as f64)),
+        mean(synth.iter().map(|r| r.cpu_busy_nanos() as f64)).filter(|&m| m > 0.0),
+    ) {
+        errors.push(e);
+    }
+    // Memory bytes per request (zero when untouched).
+    if let Some(e) = rel(
+        mean(observations.iter().map(|o| o.memory.iter().map(|m| m.1 as f64).sum::<f64>())),
+        {
+            let m = mean(
+                synth
+                    .iter()
+                    .map(|r| r.memory_demand().map(|(b, _)| b as f64).unwrap_or(0.0)),
+            );
+            m.filter(|&v| v > 0.0)
+        },
+    ) {
+        errors.push(e);
+    }
+    // Disk bytes per request (zero when untouched — this is where the
+    // structure-blind model overshoots on cached workloads).
+    if let Some(e) = rel(
+        mean(observations.iter().map(|o| o.storage.iter().map(|s| s.1 as f64).sum::<f64>())),
+        {
+            let m = mean(
+                synth
+                    .iter()
+                    .map(|r| r.disk_demand().map(|(b, _)| b as f64).unwrap_or(0.0)),
+            );
+            m.filter(|&v| v > 0.0)
+        },
+    ) {
+        errors.push(e);
+    }
+    mean(errors.into_iter()).unwrap_or(1.0)
+}
+
+/// Cross-examines models on a common set of observations: each generates
+/// `n_synthetic` requests (seeded per model for reproducibility), features
+/// are compared, and latency distributions are compared after replay.
+pub fn cross_examine(
+    models: &[&dyn WorkloadModel],
+    observations: &[RequestObservation],
+    replay_config: ReplayConfig,
+    n_synthetic: usize,
+    seed: u64,
+) -> CrossExamTable {
+    let original_latency: Vec<f64> = observations
+        .iter()
+        .map(|o| o.latency_nanos as f64 / 1e9)
+        .collect();
+    let rows = models
+        .iter()
+        .map(|model| {
+            let mut rng = Rng64::new(seed);
+            let synth = model.generate(n_synthetic, &mut rng);
+            let replayed = replay_loaded_latency_secs(&synth, replay_config);
+            let latency_ks = ks_two_sample(&original_latency, &replayed)
+                .map(|t| t.statistic)
+                .unwrap_or(1.0);
+            CrossExamRow {
+                model: model.name().to_string(),
+                feature_error: feature_error(observations, &synth),
+                latency_ks,
+                parameter_count: model.parameter_count(),
+                claims_features: model.captures_request_features(),
+                claims_time_deps: model.captures_time_dependencies(),
+            }
+        })
+        .collect();
+    CrossExamTable { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::assemble_observations;
+    use crate::{InBreadthModel, InDepthModel, Kooza};
+    use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+
+    /// The canonical cross-exam workload: mixed reads/writes over a warm
+    /// working set, so both correlations and cache structure matter.
+    fn setup() -> (ClusterConfig, kooza_trace::TraceSet) {
+        let mut config = ClusterConfig::small();
+        config.workload = WorkloadMix {
+            n_chunks: 120,
+            ..WorkloadMix::mixed()
+        };
+        let trace = Cluster::new(config.clone()).unwrap().run(1500, 91).trace;
+        (config, trace)
+    }
+
+    #[test]
+    fn table_one_shape_reproduced() {
+        let (config, trace) = setup();
+        let obs = assemble_observations(&trace).unwrap();
+        let kooza = Kooza::fit(&trace).unwrap();
+        let inb = InBreadthModel::fit(&trace).unwrap();
+        let ind = InDepthModel::fit(&trace).unwrap();
+        let table = cross_examine(
+            &[&kooza, &inb, &ind],
+            &obs,
+            ReplayConfig::from(&config),
+            1500,
+            92,
+        );
+        let get = |name: &str| table.rows.iter().find(|r| r.model == name).unwrap();
+        let k = get("kooza");
+        let b = get("in-breadth");
+        let d = get("in-depth");
+
+        // The paper's Table 1, measured: KOOZA checks both columns.
+        assert!(k.features_check(), "kooza features: {}", table.render());
+        assert!(k.time_deps_check(), "kooza time deps: {}", table.render());
+        assert!(k.completeness_check());
+
+        // In-depth: time dependencies but no features.
+        assert!(!d.features_check(), "in-depth features: {}", table.render());
+        assert!(d.time_deps_check(), "in-depth time deps: {}", table.render());
+
+        // In-breadth: marginal features lose cross-subsystem structure; on
+        // this workload its disk over-stress shows up in both columns.
+        assert!(!b.time_deps_check(), "in-breadth time deps: {}", table.render());
+
+        // KOOZA's latency distribution is strictly closer than in-breadth's.
+        assert!(k.latency_ks < b.latency_ks, "{}", table.render());
+    }
+
+    #[test]
+    fn parameter_counts_ordering() {
+        let (_, trace) = setup();
+        let kooza = Kooza::fit(&trace).unwrap();
+        let ind = InDepthModel::fit(&trace).unwrap();
+        // The in-depth model (queueing only) is far smaller than KOOZA —
+        // the simplicity the paper credits it with.
+        assert!(ind.parameter_count() * 10 < kooza.parameter_count());
+    }
+
+    #[test]
+    fn render_mentions_all_models() {
+        let (config, trace) = setup();
+        let obs = assemble_observations(&trace).unwrap();
+        let kooza = Kooza::fit(&trace).unwrap();
+        let table = cross_examine(&[&kooza], &obs, ReplayConfig::from(&config), 200, 93);
+        assert!(table.render().contains("kooza"));
+    }
+}

@@ -1,0 +1,973 @@
+//! The event-driven GFS cluster simulation.
+//!
+//! Requests follow the paper's Figure 1: network in → CPU (lookup) →
+//! memory (buffer access) → disk (unless the buffer cache hits) → CPU
+//! (aggregate) → network out. Writes additionally replicate to secondary
+//! chunkservers before acknowledging.
+//!
+//! Every request is instrumented (subject to Dapper-style 1-in-N trace
+//! sampling): per-subsystem records plus a span tree land in a
+//! [`TraceSet`]. Sampled requests pay a configurable CPU overhead per
+//! span, so the overhead-vs-sampling-rate experiment (Dapper's "<1.5%")
+//! has something real to measure.
+
+use std::collections::HashMap;
+
+use kooza_sim::rng::Rng64;
+use kooza_sim::{Engine, ServerPool, SimDuration, SimTime, Tally};
+use kooza_stats::dist::{DiscreteDistribution, Distribution, Exponential, Zipf};
+use kooza_trace::record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
+use kooza_trace::span::{Span, SpanCollector, SpanId, TraceId};
+use kooza_trace::TraceSet;
+
+use crate::config::ClusterConfig;
+use crate::hardware::{CpuModel, DiskModel, LinkModel, MemoryModel};
+use crate::master::{ChunkHandle, Master, LBNS_PER_CHUNK};
+
+/// What kind of request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Read,
+    Write,
+}
+
+/// Summary of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// Global request id.
+    pub id: u64,
+    /// `true` for reads, `false` for writes.
+    pub is_read: bool,
+    /// Request payload size, bytes.
+    pub size: u64,
+    /// End-to-end latency in nanoseconds.
+    pub latency_nanos: u64,
+    /// Whether the request's trace was sampled.
+    pub sampled: bool,
+    /// CPU busy time attributed to the request, nanoseconds.
+    pub cpu_busy_nanos: u64,
+    /// Whether the buffer cache absorbed the read.
+    pub cache_hit: bool,
+}
+
+/// Aggregate simulation statistics.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Requests completed.
+    pub completed: u64,
+    /// Latency distribution (seconds).
+    pub latency_secs: Tally,
+    /// Simulated makespan, seconds.
+    pub makespan_secs: f64,
+    /// Per-chunkserver CPU utilization.
+    pub cpu_utilization: Vec<f64>,
+    /// Per-chunkserver disk utilization.
+    pub disk_utilization: Vec<f64>,
+    /// Buffer-cache hit ratio per chunkserver.
+    pub cache_hit_ratio: Vec<f64>,
+    /// Total CPU busy time across servers, seconds.
+    pub total_cpu_busy_secs: f64,
+    /// CPU time spent on tracing instrumentation, seconds.
+    pub tracing_busy_secs: f64,
+    /// Master CPU utilization (0 when the master path is disabled).
+    pub master_utilization: f64,
+    /// Client metadata-cache hit ratio (1 when the master path is disabled).
+    pub metadata_hit_ratio: f64,
+}
+
+impl ClusterStats {
+    /// Completed requests per simulated second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.makespan_secs > 0.0 {
+            self.completed as f64 / self.makespan_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of CPU work that went to tracing instrumentation.
+    pub fn tracing_overhead_fraction(&self) -> f64 {
+        if self.total_cpu_busy_secs > 0.0 {
+            self.tracing_busy_secs / self.total_cpu_busy_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// The collected multi-subsystem trace (whole cluster).
+    pub trace: TraceSet,
+    /// The same records split by the chunkserver that served each request
+    /// — §4: "Scaling to multiple servers in order to simulate real-
+    /// application scenarios requires multiple instances of the model",
+    /// and each instance trains on its own server's trace.
+    pub per_server_traces: Vec<TraceSet>,
+    /// Aggregate statistics.
+    pub stats: ClusterStats,
+    /// Per-request outcomes, completion order.
+    pub requests: Vec<RequestOutcome>,
+}
+
+/// In-flight request state.
+#[derive(Debug)]
+struct ReqState {
+    kind: Kind,
+    size: u64,
+    mem_size: u64,
+    chunk: ChunkHandle,
+    server: usize,
+    start: SimTime,
+    lbn: u64,
+    sampled: bool,
+    cache_hit: bool,
+    cpu_busy: SimDuration,
+    pending_replicas: usize,
+    /// Completed phase intervals for span assembly: (name, start, end).
+    phases: Vec<(&'static str, SimTime, SimTime)>,
+    /// Start of the phase currently in progress.
+    phase_started: SimTime,
+}
+
+/// Per-chunkserver resources.
+///
+/// Pool jobs carry what is needed to compute the service time *when the
+/// job actually starts*: CPU jobs carry their precomputed busy time
+/// (tracing overhead included), disk jobs carry `(lbn, size)` so the
+/// seek reflects the head position at start, network jobs carry the wire
+/// size.
+#[derive(Debug)]
+struct Server {
+    /// (request, stage, busy time)
+    cpu_pool: ServerPool<(u64, u8, SimDuration)>,
+    /// (request, lbn, size, replica?)
+    disk_pool: ServerPool<(u64, u64, u64, bool)>,
+    /// (request, wire bytes, replica?)
+    net_in_pool: ServerPool<(u64, u64, bool)>,
+    /// (request, wire bytes)
+    net_out_pool: ServerPool<(u64, u64)>,
+    disk: DiskModel,
+    memory: MemoryModel,
+    cpu: CpuModel,
+    link: LinkModel,
+}
+
+impl Server {
+    /// Offers a CPU job; schedules its completion if a core is free.
+    fn offer_cpu(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        now: SimTime,
+        server: usize,
+        job: (u64, u8, SimDuration),
+    ) {
+        if let Some((id, stage, busy)) = self.cpu_pool.arrive(now, job) {
+            engine.schedule(busy, Ev::CpuDone { id, server, stage });
+        }
+    }
+
+    /// Starts a disk job (computing the seek now) and schedules completion.
+    fn start_disk(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        server: usize,
+        (id, lbn, size, replica): (u64, u64, u64, bool),
+    ) {
+        let service = self.disk.access(lbn, size);
+        engine.schedule(service, Ev::DiskDone { id, server, replica });
+    }
+
+    /// Offers a disk job; starts it if the disk is idle.
+    fn offer_disk(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        now: SimTime,
+        server: usize,
+        job: (u64, u64, u64, bool),
+    ) {
+        if let Some(started) = self.disk_pool.arrive(now, job) {
+            self.start_disk(engine, server, started);
+        }
+    }
+
+    /// Offers an ingress transfer; schedules it if the NIC is idle.
+    fn offer_net_in(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        now: SimTime,
+        server: usize,
+        job: (u64, u64, bool),
+    ) {
+        if let Some((id, wire, replica)) = self.net_in_pool.arrive(now, job) {
+            let service = self.link.transfer(wire);
+            engine.schedule(service, Ev::NetInDone { id, server, replica });
+        }
+    }
+
+    /// Offers an egress transfer; schedules it if the NIC is idle.
+    fn offer_net_out(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        now: SimTime,
+        server: usize,
+        job: (u64, u64),
+    ) {
+        if let Some((id, wire)) = self.net_out_pool.arrive(now, job) {
+            let service = self.link.transfer(wire);
+            engine.schedule(service, Ev::NetOutDone { id, server });
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Generator tick: issue request `id`.
+    NewRequest { id: u64 },
+    /// Ingress transfer done (`replica` marks replication traffic).
+    NetInDone { id: u64, server: usize, replica: bool },
+    /// CPU phase done (`stage` 1 = lookup, 2 = aggregate).
+    CpuDone { id: u64, server: usize, stage: u8 },
+    /// Memory access done.
+    MemDone { id: u64, server: usize },
+    /// Disk access done (`replica` marks replica writes).
+    DiskDone { id: u64, server: usize, replica: bool },
+    /// Egress transfer done; request complete.
+    NetOutDone { id: u64, server: usize },
+    /// Master location lookup finished for this request.
+    MasterDone { id: u64 },
+}
+
+/// The cluster simulator.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    master: Master,
+    rng: Rng64,
+}
+
+impl Cluster {
+    /// Builds a cluster from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GfsError::InvalidConfig`] on bad parameters.
+    pub fn new(config: ClusterConfig) -> crate::Result<Self> {
+        config.validate()?;
+        // Placement is part of the cluster identity; derive its seed from
+        // structure so `run(seed)` controls only the workload.
+        let mut placement_rng = Rng64::new(0xC0FF_EE00 ^ config.n_chunkservers as u64);
+        let master = Master::place(
+            config.workload.n_chunks,
+            config.n_chunkservers,
+            config.replication,
+            &mut placement_rng,
+        )?;
+        Ok(Cluster {
+            config,
+            master,
+            rng: Rng64::new(0),
+        })
+    }
+
+    /// The chunk-placement metadata.
+    pub fn master(&self) -> &Master {
+        &self.master
+    }
+
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Runs `n_requests` requests with the given workload seed, returning
+    /// the trace, statistics and per-request outcomes. Deterministic:
+    /// equal `(config, n_requests, seed)` gives identical outcomes.
+    pub fn run(&mut self, n_requests: u64, seed: u64) -> ClusterOutcome {
+        self.rng = Rng64::new(seed);
+        let cfg = &self.config;
+        let mut engine: Engine<Ev> = Engine::new();
+        let mut servers: Vec<Server> = (0..cfg.n_chunkservers)
+            .map(|_| Server {
+                cpu_pool: ServerPool::new(cfg.cpu.cores),
+                disk_pool: ServerPool::new(1),
+                net_in_pool: ServerPool::new(1),
+                net_out_pool: ServerPool::new(1),
+                disk: DiskModel::new(cfg.disk),
+                memory: MemoryModel::new(cfg.memory),
+                cpu: CpuModel::new(cfg.cpu),
+                link: LinkModel::new(cfg.link),
+            })
+            .collect();
+        let zipf = Zipf::new(cfg.workload.n_chunks, cfg.workload.zipf_skew)
+            .expect("validated config");
+        let gap = Exponential::with_mean(cfg.workload.mean_interarrival_secs)
+            .expect("validated config");
+        let mut collector = SpanCollector::with_sampling(cfg.trace_sampling);
+        let trace_overhead = SimDuration::from_secs_f64(cfg.tracing_overhead_secs);
+
+        let mut states: HashMap<u64, ReqState> = HashMap::new();
+        // Master metadata path (optional).
+        let mut master_pool: ServerPool<(u64, SimDuration)> = ServerPool::new(1);
+        let mut metadata_caches: Vec<std::collections::VecDeque<ChunkHandle>> =
+            vec![std::collections::VecDeque::new(); cfg.n_clients];
+        let mut metadata_lookups = 0u64;
+        let mut metadata_hits = 0u64;
+        let master_service = SimDuration::from_secs_f64(
+            2.0 * cfg.link.latency_secs + cfg.master_lookup_secs,
+        );
+        let mut trace = TraceSet::new();
+        let mut per_server: Vec<TraceSet> =
+            (0..cfg.n_chunkservers).map(|_| TraceSet::new()).collect();
+        let mut outcomes = Vec::with_capacity(n_requests as usize);
+        let mut latency = Tally::new();
+        let mut tracing_busy = SimDuration::ZERO;
+        let mut total_cpu_busy = SimDuration::ZERO;
+        let rng = &mut self.rng;
+
+        if n_requests > 0 {
+            engine.schedule(
+                SimDuration::from_secs_f64(gap.sample(rng)),
+                Ev::NewRequest { id: 0 },
+            );
+        }
+
+        while let Some((now, ev)) = engine.next() {
+            match ev {
+                Ev::NewRequest { id } => {
+                    if id + 1 < n_requests {
+                        engine.schedule(
+                            SimDuration::from_secs_f64(gap.sample(rng)),
+                            Ev::NewRequest { id: id + 1 },
+                        );
+                    }
+                    let kind = if rng.chance(cfg.workload.read_fraction) {
+                        Kind::Read
+                    } else {
+                        Kind::Write
+                    };
+                    let size = match kind {
+                        Kind::Read => cfg.workload.read_size,
+                        Kind::Write => cfg.workload.write_size,
+                    };
+                    let chunk = ChunkHandle(zipf.sample(rng) - 1);
+                    let server = match kind {
+                        Kind::Read => self.master.read_target(chunk, rng),
+                        Kind::Write => self.master.primary(chunk),
+                    };
+                    // Offset within the chunk, 512 B aligned, leaving room
+                    // for the access itself.
+                    let blocks = size.div_ceil(512).max(1);
+                    let span_lbns = LBNS_PER_CHUNK.saturating_sub(blocks).max(1);
+                    let lbn = self.master.chunk_base_lbn(chunk) + rng.next_bounded(span_lbns);
+                    let sampled = collector.should_record(TraceId(id));
+                    let mem_size = match kind {
+                        // Metadata plus a slice of the buffer: the request's
+                        // memory footprint is a fixed fraction of payload
+                        // (¼ for reads, 1/16 for writes), reproducing the
+                        // 16 KB / 256 KB rows of the paper's Table 2.
+                        Kind::Read => (size / 4).max(64),
+                        Kind::Write => (size / 16).max(64),
+                    };
+                    states.insert(
+                        id,
+                        ReqState {
+                            kind,
+                            size,
+                            mem_size,
+                            chunk,
+                            server,
+                            start: now,
+                            lbn,
+                            sampled,
+                            cache_hit: false,
+                            cpu_busy: SimDuration::ZERO,
+                            pending_replicas: 0,
+                            phases: Vec::new(),
+                            phase_started: now,
+                        },
+                    );
+                    // Ingress: a small header for reads, the payload for
+                    // writes. The record carries the wire size — the
+                    // payload a read moves shows up on egress, so recording
+                    // the payload here would double-count it in replay.
+                    let wire = match kind {
+                        Kind::Read => 1024,
+                        Kind::Write => size,
+                    };
+                    // Metadata path: consult the master unless the client's
+                    // location cache already knows the chunk.
+                    let client = (id % cfg.n_clients as u64) as usize;
+                    let cached = !cfg.consult_master || {
+                        metadata_lookups += 1;
+                        let cache = &mut metadata_caches[client];
+                        if let Some(pos) = cache.iter().position(|&c| c == chunk) {
+                            cache.remove(pos);
+                            cache.push_back(chunk);
+                            metadata_hits += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if cached {
+                        let rec = NetworkRecord {
+                            ts_nanos: now.as_nanos(),
+                            size: wire,
+                            direction: Direction::Ingress,
+                            request_id: id,
+                        };
+                        trace.network.push(rec);
+                        per_server[server].network.push(rec);
+                        servers[server].offer_net_in(&mut engine, now, server, (id, wire, false));
+                    } else if let Some((job, service)) =
+                        master_pool.arrive(now, (id, master_service))
+                    {
+                        engine.schedule(service, Ev::MasterDone { id: job });
+                    }
+                }
+                Ev::MasterDone { id } => {
+                    if let Some((job, service)) = master_pool.complete(now) {
+                        engine.schedule(service, Ev::MasterDone { id: job });
+                    }
+                    let st = states.get_mut(&id).expect("live request");
+                    st.phases.push(("master.lookup", st.phase_started, now));
+                    st.phase_started = now;
+                    // Cache the location for this client (LRU).
+                    let client = (id % cfg.n_clients as u64) as usize;
+                    let cache = &mut metadata_caches[client];
+                    cache.push_back(st.chunk);
+                    while cache.len() > cfg.client_metadata_cache.max(1) {
+                        cache.pop_front();
+                    }
+                    let server = st.server;
+                    let wire = match st.kind {
+                        Kind::Read => 1024,
+                        Kind::Write => st.size,
+                    };
+                    let rec = NetworkRecord {
+                        ts_nanos: now.as_nanos(),
+                        size: wire,
+                        direction: Direction::Ingress,
+                        request_id: id,
+                    };
+                    trace.network.push(rec);
+                    per_server[server].network.push(rec);
+                    servers[server].offer_net_in(&mut engine, now, server, (id, wire, false));
+                }
+                Ev::NetInDone { id, server, replica } => {
+                    // Free the NIC; start the next queued ingress.
+                    if let Some((job, wire, is_rep)) = servers[server].net_in_pool.complete(now) {
+                        let service = servers[server].link.transfer(wire);
+                        engine.schedule(
+                            service,
+                            Ev::NetInDone { id: job, server, replica: is_rep },
+                        );
+                    }
+                    if replica {
+                        // Replica data landed: write it to the replica disk.
+                        let (lbn, size) = {
+                            let st = &states[&id];
+                            (st.lbn, st.size)
+                        };
+                        servers[server].offer_disk(&mut engine, now, server, (id, lbn, size, true));
+                        continue;
+                    }
+                    let st = states.get_mut(&id).expect("live request");
+                    st.phases.push(("network.in", st.phase_started, now));
+                    st.phase_started = now;
+                    // CPU stage 1: lookup/verify over the request header.
+                    let mut busy = servers[server].cpu.phase(1024);
+                    if st.sampled {
+                        busy += trace_overhead;
+                        tracing_busy += trace_overhead;
+                    }
+                    st.cpu_busy += busy;
+                    total_cpu_busy += busy;
+                    servers[server].offer_cpu(&mut engine, now, server, (id, 1, busy));
+                }
+                Ev::CpuDone { id, server, stage } => {
+                    if let Some((job, next_stage, busy)) = servers[server].cpu_pool.complete(now) {
+                        engine.schedule(busy, Ev::CpuDone { id: job, server, stage: next_stage });
+                    }
+                    if stage == 1 {
+                        let st = states.get_mut(&id).expect("live request");
+                        st.phases.push(("cpu.lookup", st.phase_started, now));
+                        st.phase_started = now;
+                        // Memory access (buffer cache + bank traffic).
+                        let bank = servers[server].memory.bank_of(st.chunk);
+                        let hit = servers[server].memory.cache_access(st.chunk);
+                        st.cache_hit = st.kind == Kind::Read && hit;
+                        let service = servers[server].memory.access(bank, st.mem_size);
+                        let rec = MemoryRecord {
+                            ts_nanos: now.as_nanos(),
+                            bank,
+                            size: st.mem_size,
+                            op: match st.kind {
+                                Kind::Read => IoOp::Read,
+                                Kind::Write => IoOp::Write,
+                            },
+                            request_id: id,
+                        };
+                        trace.memory.push(rec);
+                        per_server[server].memory.push(rec);
+                        engine.schedule(service, Ev::MemDone { id, server });
+                    } else {
+                        // Aggregation done → respond over the network.
+                        let st = states.get_mut(&id).expect("live request");
+                        st.phases.push(("cpu.aggregate", st.phase_started, now));
+                        st.phase_started = now;
+                        let wire = match st.kind {
+                            Kind::Read => st.size,
+                            Kind::Write => 1024,
+                        };
+                        let rec = NetworkRecord {
+                            ts_nanos: now.as_nanos(),
+                            size: wire,
+                            direction: Direction::Egress,
+                            request_id: id,
+                        };
+                        trace.network.push(rec);
+                        per_server[server].network.push(rec);
+                        servers[server].offer_net_out(&mut engine, now, server, (id, wire));
+                    }
+                }
+                Ev::MemDone { id, server } => {
+                    let st = states.get_mut(&id).expect("live request");
+                    st.phases.push(("memory", st.phase_started, now));
+                    st.phase_started = now;
+                    if st.kind == Kind::Read && st.cache_hit {
+                        // Buffer cache absorbed the read: skip the disk.
+                        Self::schedule_cpu_aggregate(
+                            &mut engine,
+                            &mut servers[server],
+                            st,
+                            id,
+                            server,
+                            now,
+                            trace_overhead,
+                            &mut tracing_busy,
+                            &mut total_cpu_busy,
+                        );
+                    } else {
+                        let op = match st.kind {
+                            Kind::Read => IoOp::Read,
+                            Kind::Write => IoOp::Write,
+                        };
+                        let rec = StorageRecord {
+                            ts_nanos: now.as_nanos(),
+                            lbn: st.lbn,
+                            size: st.size,
+                            op,
+                            request_id: id,
+                        };
+                        trace.storage.push(rec);
+                        per_server[server].storage.push(rec);
+                        let (lbn, size) = (st.lbn, st.size);
+                        servers[server].offer_disk(&mut engine, now, server, (id, lbn, size, false));
+                    }
+                }
+                Ev::DiskDone { id, server, replica } => {
+                    if let Some(job) = servers[server].disk_pool.complete(now) {
+                        servers[server].start_disk(&mut engine, server, job);
+                    }
+                    if replica {
+                        let st = states.get_mut(&id).expect("live request");
+                        st.pending_replicas -= 1;
+                        if st.pending_replicas == 0 {
+                            let primary = st.server;
+                            st.phases.push(("replicate", st.phase_started, now));
+                            st.phase_started = now;
+                            Self::schedule_cpu_aggregate(
+                                &mut engine,
+                                &mut servers[primary],
+                                st,
+                                id,
+                                primary,
+                                now,
+                                trace_overhead,
+                                &mut tracing_busy,
+                                &mut total_cpu_busy,
+                            );
+                        }
+                        continue;
+                    }
+                    let st = states.get_mut(&id).expect("live request");
+                    st.phases.push(("disk", st.phase_started, now));
+                    st.phase_started = now;
+                    let replicas: Vec<usize> = self
+                        .master
+                        .replicas(st.chunk)
+                        .iter()
+                        .copied()
+                        .filter(|&s| s != server)
+                        .collect();
+                    if st.kind == Kind::Write && !replicas.is_empty() {
+                        st.pending_replicas = replicas.len();
+                        let size = st.size;
+                        for rep in replicas {
+                            servers[rep].offer_net_in(&mut engine, now, rep, (id, size, true));
+                        }
+                    } else {
+                        Self::schedule_cpu_aggregate(
+                            &mut engine,
+                            &mut servers[server],
+                            st,
+                            id,
+                            server,
+                            now,
+                            trace_overhead,
+                            &mut tracing_busy,
+                            &mut total_cpu_busy,
+                        );
+                    }
+                }
+                Ev::NetOutDone { id, server } => {
+                    if let Some((job, wire)) = servers[server].net_out_pool.complete(now) {
+                        let service = servers[server].link.transfer(wire);
+                        engine.schedule(service, Ev::NetOutDone { id: job, server });
+                    }
+                    let mut st = states.remove(&id).expect("live request");
+                    st.phases.push(("network.out", st.phase_started, now));
+                    let total = now - st.start;
+                    latency.record(total.as_secs_f64());
+                    let rec = CpuRecord {
+                        ts_nanos: now.as_nanos(),
+                        utilization: st.cpu_busy.as_nanos() as f64 / total.as_nanos().max(1) as f64,
+                        busy_nanos: st.cpu_busy.as_nanos(),
+                        request_id: id,
+                    };
+                    trace.cpu.push(rec);
+                    per_server[st.server].cpu.push(rec);
+                    outcomes.push(RequestOutcome {
+                        id,
+                        is_read: st.kind == Kind::Read,
+                        size: st.size,
+                        latency_nanos: total.as_nanos(),
+                        sampled: st.sampled,
+                        cpu_busy_nanos: st.cpu_busy.as_nanos(),
+                        cache_hit: st.cache_hit,
+                    });
+                    if st.sampled {
+                        let tid = TraceId(id);
+                        let root = Span::new(
+                            tid,
+                            SpanId(0),
+                            None,
+                            "request",
+                            st.start.as_nanos(),
+                            now.as_nanos(),
+                        );
+                        per_server[st.server].spans.push(root.clone());
+                        collector.record(root);
+                        for (span_idx, (name, s, e)) in (1u64..).zip(st.phases.iter()) {
+                            let span = Span::new(
+                                tid,
+                                SpanId(span_idx),
+                                Some(SpanId(0)),
+                                *name,
+                                s.as_nanos(),
+                                e.as_nanos(),
+                            );
+                            per_server[st.server].spans.push(span.clone());
+                            collector.record(span);
+                        }
+                    }
+                }
+            }
+        }
+
+        let end = engine.now();
+        let stats = ClusterStats {
+            completed: outcomes.len() as u64,
+            latency_secs: latency,
+            makespan_secs: end.as_secs_f64(),
+            cpu_utilization: servers.iter().map(|s| s.cpu_pool.utilization(end)).collect(),
+            disk_utilization: servers.iter().map(|s| s.disk_pool.utilization(end)).collect(),
+            cache_hit_ratio: servers.iter().map(|s| s.memory.hit_ratio()).collect(),
+            total_cpu_busy_secs: total_cpu_busy.as_secs_f64(),
+            tracing_busy_secs: tracing_busy.as_secs_f64(),
+            master_utilization: master_pool.utilization(end),
+            metadata_hit_ratio: if metadata_lookups == 0 {
+                1.0
+            } else {
+                metadata_hits as f64 / metadata_lookups as f64
+            },
+        };
+        trace.spans = collector.spans().to_vec();
+        trace.sort_by_time();
+        for t in &mut per_server {
+            t.sort_by_time();
+        }
+        ClusterOutcome {
+            trace,
+            per_server_traces: per_server,
+            stats,
+            requests: outcomes,
+        }
+    }
+
+    /// Enqueues CPU stage 2 (aggregate/checksum) for a request.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule_cpu_aggregate(
+        engine: &mut Engine<Ev>,
+        server_state: &mut Server,
+        st: &mut ReqState,
+        id: u64,
+        server: usize,
+        now: SimTime,
+        trace_overhead: SimDuration,
+        tracing_busy: &mut SimDuration,
+        total_cpu_busy: &mut SimDuration,
+    ) {
+        let mut busy = server_state.cpu.phase(st.size);
+        if st.sampled {
+            busy += trace_overhead;
+            *tracing_busy += trace_overhead;
+        }
+        st.cpu_busy += busy;
+        *total_cpu_busy += busy;
+        server_state.offer_cpu(engine, now, server, (id, 2, busy));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadMix;
+
+    fn run_small(mix: WorkloadMix, n: u64, seed: u64) -> ClusterOutcome {
+        let mut config = ClusterConfig::small();
+        config.workload = mix;
+        Cluster::new(config).unwrap().run(n, seed)
+    }
+
+    #[test]
+    fn completes_every_request() {
+        let out = run_small(WorkloadMix::mixed(), 500, 1);
+        assert_eq!(out.stats.completed, 500);
+        assert_eq!(out.requests.len(), 500);
+        assert_eq!(out.trace.cpu.len(), 500);
+        // One ingress + one egress network record per request.
+        assert_eq!(out.trace.network.len(), 1000);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run_small(WorkloadMix::mixed(), 300, 7);
+        let b = run_small(WorkloadMix::mixed(), 300, 7);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.requests, b.requests);
+        let c = run_small(WorkloadMix::mixed(), 300, 8);
+        assert_ne!(a.trace, c.trace);
+    }
+
+    #[test]
+    fn read_heavy_mix_produces_reads() {
+        let out = run_small(WorkloadMix::read_heavy(), 400, 2);
+        assert!(out.requests.iter().all(|r| r.is_read));
+        assert!(out
+            .trace
+            .storage
+            .iter()
+            .all(|r| r.op == IoOp::Read));
+        // 64 KB reads.
+        assert!(out.requests.iter().all(|r| r.size == 64 * 1024));
+    }
+
+    #[test]
+    fn write_latency_exceeds_read_latency() {
+        let reads = run_small(WorkloadMix::read_heavy(), 300, 3);
+        let writes = run_small(WorkloadMix::write_heavy(), 300, 3);
+        assert!(
+            writes.stats.latency_secs.mean() > 3.0 * reads.stats.latency_secs.mean(),
+            "writes {} reads {}",
+            writes.stats.latency_secs.mean(),
+            reads.stats.latency_secs.mean()
+        );
+    }
+
+    #[test]
+    fn cache_hits_happen_and_skip_disk() {
+        // Hot working set: fewer chunks than cache slots.
+        let mix = WorkloadMix { n_chunks: 16, ..WorkloadMix::read_heavy() };
+        let out = run_small(mix, 1000, 4);
+        assert!(out.stats.cache_hit_ratio[0] > 0.5, "hit ratio {}", out.stats.cache_hit_ratio[0]);
+        let hits = out.requests.iter().filter(|r| r.cache_hit).count();
+        assert!(hits > 500);
+        // Disk records only for the misses.
+        assert_eq!(out.trace.storage.len(), 1000 - hits);
+        // Cache-hit reads are faster on average.
+        let mean = |v: Vec<u64>| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
+        let hit_lat = mean(out.requests.iter().filter(|r| r.cache_hit).map(|r| r.latency_nanos).collect());
+        let miss_lat = mean(out.requests.iter().filter(|r| !r.cache_hit).map(|r| r.latency_nanos).collect());
+        assert!(miss_lat > hit_lat, "miss {miss_lat} hit {hit_lat}");
+    }
+
+    #[test]
+    fn span_trees_follow_figure_one() {
+        let mix = WorkloadMix { n_chunks: 100_000, zipf_skew: 0.5, ..WorkloadMix::read_heavy() };
+        let out = run_small(mix, 50, 5);
+        let trees = out.trace.span_trees();
+        assert_eq!(trees.len(), 50);
+        for tree in &trees {
+            let phases = tree.phase_sequence();
+            // Cache misses: the full Figure-1 pipeline.
+            if phases.len() == 6 {
+                assert_eq!(
+                    phases,
+                    vec!["network.in", "cpu.lookup", "memory", "disk", "cpu.aggregate", "network.out"]
+                );
+            } else {
+                // Cache hits skip the disk phase.
+                assert_eq!(
+                    phases,
+                    vec!["network.in", "cpu.lookup", "memory", "cpu.aggregate", "network.out"]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_reduces_spans_and_overhead() {
+        let mut config = ClusterConfig::small();
+        config.workload = WorkloadMix::read_heavy();
+        config.trace_sampling = 10;
+        let mut cluster = Cluster::new(config).unwrap();
+        let out = cluster.run(2000, 6);
+        let sampled = out.requests.iter().filter(|r| r.sampled).count();
+        assert!((100..400).contains(&sampled), "sampled {sampled}");
+        // Only sampled requests have spans.
+        assert_eq!(out.trace.span_trees().len(), sampled);
+        // Overhead fraction shrinks accordingly.
+        let mut full_config = ClusterConfig::small();
+        full_config.workload = WorkloadMix::read_heavy();
+        full_config.trace_sampling = 1;
+        let full = Cluster::new(full_config).unwrap().run(2000, 6);
+        assert!(
+            out.stats.tracing_overhead_fraction() < full.stats.tracing_overhead_fraction() / 4.0
+        );
+    }
+
+    #[test]
+    fn replication_touches_multiple_disks() {
+        let mut config = ClusterConfig::cluster(3);
+        config.workload = WorkloadMix::write_heavy();
+        config.workload.mean_interarrival_secs = 0.2; // light load
+        let mut cluster = Cluster::new(config).unwrap();
+        let out = cluster.run(100, 7);
+        assert_eq!(out.stats.completed, 100);
+        // All three disks saw traffic (replication fans writes out).
+        for (i, u) in out.stats.disk_utilization.iter().enumerate() {
+            assert!(*u > 0.0, "disk {i} idle");
+        }
+        // Replicated writes are slower than they would be unreplicated.
+        let mut solo_config = ClusterConfig::cluster(3);
+        solo_config.replication = 1;
+        solo_config.workload = WorkloadMix::write_heavy();
+        solo_config.workload.mean_interarrival_secs = 0.2;
+        let solo = Cluster::new(solo_config).unwrap().run(100, 7);
+        assert!(
+            out.stats.latency_secs.mean() > solo.stats.latency_secs.mean(),
+            "replicated {} solo {}",
+            out.stats.latency_secs.mean(),
+            solo.stats.latency_secs.mean()
+        );
+    }
+
+    #[test]
+    fn cpu_utilization_is_modest_for_reads() {
+        // The Table-2 shape: a 64 KB read spends a few percent of its
+        // lifetime on CPU.
+        let mix = WorkloadMix { n_chunks: 100_000, zipf_skew: 0.5, ..WorkloadMix::read_heavy() };
+        let out = run_small(mix, 300, 8);
+        let mean_util: f64 = out.trace.cpu.iter().map(|c| c.utilization).sum::<f64>()
+            / out.trace.cpu.len() as f64;
+        assert!(
+            (0.005..0.25).contains(&mean_util),
+            "per-request CPU utilization {mean_util}"
+        );
+    }
+
+    #[test]
+    fn memory_records_match_table_two_ratios() {
+        let out = run_small(WorkloadMix::read_heavy(), 100, 9);
+        for m in &out.trace.memory {
+            assert_eq!(m.size, 64 * 1024 / 4); // 16 KB per 64 KB read
+            assert_eq!(m.op, IoOp::Read);
+        }
+        let out = run_small(WorkloadMix::write_heavy(), 50, 9);
+        for m in &out.trace.memory {
+            assert_eq!(m.size, 4 * 1024 * 1024 / 16); // 256 KB per 4 MB write
+            assert_eq!(m.op, IoOp::Write);
+        }
+    }
+
+    #[test]
+    fn master_path_disabled_by_default() {
+        let out = run_small(WorkloadMix::read_heavy(), 100, 30);
+        assert_eq!(out.stats.metadata_hit_ratio, 1.0);
+        assert_eq!(out.stats.master_utilization, 0.0);
+        // No master.lookup phases.
+        for tree in out.trace.span_trees() {
+            assert!(!tree.phase_sequence().contains(&"master.lookup"));
+        }
+    }
+
+    #[test]
+    fn master_path_adds_lookup_phase_on_misses() {
+        let mut config = ClusterConfig::small();
+        config.consult_master = true;
+        config.workload = WorkloadMix { n_chunks: 100_000, zipf_skew: 0.5, ..WorkloadMix::read_heavy() };
+        let mut cluster = Cluster::new(config).unwrap();
+        let out = cluster.run(300, 31);
+        assert_eq!(out.stats.completed, 300);
+        // Cold, huge working set: almost every lookup misses.
+        assert!(out.stats.metadata_hit_ratio < 0.1, "hit {}", out.stats.metadata_hit_ratio);
+        assert!(out.stats.master_utilization > 0.0);
+        let with_lookup = out
+            .trace
+            .span_trees()
+            .iter()
+            .filter(|t| t.phase_sequence().first() == Some(&"master.lookup"))
+            .count();
+        assert!(with_lookup > 250, "only {with_lookup} requests consulted the master");
+    }
+
+    #[test]
+    fn metadata_cache_absorbs_hot_lookups() {
+        let mut config = ClusterConfig::small();
+        config.consult_master = true;
+        config.workload = WorkloadMix { n_chunks: 50, ..WorkloadMix::read_heavy() };
+        let mut cluster = Cluster::new(config).unwrap();
+        let out = cluster.run(1000, 32);
+        // 50 chunks, 256-entry caches: everything hits after warmup.
+        assert!(out.stats.metadata_hit_ratio > 0.8, "hit {}", out.stats.metadata_hit_ratio);
+    }
+
+    #[test]
+    fn master_consult_increases_latency() {
+        let mix = WorkloadMix { n_chunks: 100_000, zipf_skew: 0.5, ..WorkloadMix::read_heavy() };
+        let mut with_cfg = ClusterConfig::small();
+        with_cfg.consult_master = true;
+        with_cfg.workload = mix;
+        let with_master = Cluster::new(with_cfg).unwrap().run(300, 33);
+        let mut without_cfg = ClusterConfig::small();
+        without_cfg.workload = mix;
+        let without = Cluster::new(without_cfg).unwrap().run(300, 33);
+        assert!(
+            with_master.stats.latency_secs.mean() > without.stats.latency_secs.mean(),
+            "with {} without {}",
+            with_master.stats.latency_secs.mean(),
+            without.stats.latency_secs.mean()
+        );
+    }
+
+    #[test]
+    fn zero_requests_is_empty() {
+        let out = run_small(WorkloadMix::mixed(), 0, 1);
+        assert_eq!(out.stats.completed, 0);
+        assert!(out.trace.is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! The GFS master: chunk metadata and placement.
+//!
+//! The real master owns the filesystem namespace, chunk leases and
+//! re-replication; for workload modeling what matters is *placement* —
+//! which chunkservers hold which chunk, with what replication — because
+//! that determines which servers a request touches.
+
+use kooza_sim::rng::Rng64;
+
+use crate::{GfsError, Result};
+
+/// Identifier of a 64 MB GFS chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChunkHandle(pub u64);
+
+/// Blocks (512 B LBNs) per 64 MB chunk.
+pub const LBNS_PER_CHUNK: u64 = 64 * 1024 * 1024 / 512;
+
+/// The master's metadata: chunk → replica placements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Master {
+    n_servers: usize,
+    replication: usize,
+    /// `placements[chunk][r]` = server index of replica `r`.
+    placements: Vec<Vec<usize>>,
+    /// Per-server count of primary replicas (load-balance bookkeeping).
+    primaries: Vec<u64>,
+}
+
+impl Master {
+    /// Creates a master placing `n_chunks` chunks across `n_servers`
+    /// servers with the given replication, spreading load round-robin with
+    /// a random rotation per chunk (deterministic under the seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfsError::InvalidConfig`] if `replication` is 0 or exceeds
+    /// `n_servers`, or if either count is 0.
+    pub fn place(
+        n_chunks: u64,
+        n_servers: usize,
+        replication: usize,
+        rng: &mut Rng64,
+    ) -> Result<Self> {
+        if n_servers == 0 {
+            return Err(GfsError::InvalidConfig {
+                field: "n_servers",
+                detail: "must be at least 1".into(),
+            });
+        }
+        if replication == 0 || replication > n_servers {
+            return Err(GfsError::InvalidConfig {
+                field: "replication",
+                detail: format!("must be in 1..={n_servers}"),
+            });
+        }
+        if n_chunks == 0 {
+            return Err(GfsError::InvalidConfig {
+                field: "n_chunks",
+                detail: "must be at least 1".into(),
+            });
+        }
+        let mut placements = Vec::with_capacity(n_chunks as usize);
+        let mut primaries = vec![0u64; n_servers];
+        for _ in 0..n_chunks {
+            let start = rng.next_bounded(n_servers as u64) as usize;
+            let replicas: Vec<usize> =
+                (0..replication).map(|r| (start + r) % n_servers).collect();
+            primaries[replicas[0]] += 1;
+            placements.push(replicas);
+        }
+        Ok(Master {
+            n_servers,
+            replication,
+            placements,
+            primaries,
+        })
+    }
+
+    /// Number of chunks tracked.
+    pub fn n_chunks(&self) -> u64 {
+        self.placements.len() as u64
+    }
+
+    /// Number of chunkservers.
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The primary replica's server for a chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is out of range.
+    pub fn primary(&self, chunk: ChunkHandle) -> usize {
+        self.placements[chunk.0 as usize][0]
+    }
+
+    /// All replica servers for a chunk (primary first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is out of range.
+    pub fn replicas(&self, chunk: ChunkHandle) -> &[usize] {
+        &self.placements[chunk.0 as usize]
+    }
+
+    /// A read can be served by any replica; pick one uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is out of range.
+    pub fn read_target(&self, chunk: ChunkHandle, rng: &mut Rng64) -> usize {
+        *rng.choose(self.replicas(chunk))
+    }
+
+    /// The first LBN of a chunk on its server's disk.
+    pub fn chunk_base_lbn(&self, chunk: ChunkHandle) -> u64 {
+        // Chunks are laid out contiguously per server in placement order;
+        // a chunk's slot index within its server gives its disk offset.
+        // For modeling purposes a deterministic hash-spread layout is
+        // equally valid and much cheaper:
+        (chunk.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 30_000) * LBNS_PER_CHUNK
+    }
+
+    /// Primary-count imbalance: max/mean primaries per server (1 = perfect).
+    pub fn primary_imbalance(&self) -> f64 {
+        let max = *self.primaries.iter().max().unwrap_or(&0) as f64;
+        let mean = self.primaries.iter().sum::<u64>() as f64 / self.n_servers as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_respects_replication() {
+        let mut rng = Rng64::new(1700);
+        let m = Master::place(100, 5, 3, &mut rng).unwrap();
+        for c in 0..100 {
+            let reps = m.replicas(ChunkHandle(c));
+            assert_eq!(reps.len(), 3);
+            // Distinct servers.
+            let mut sorted = reps.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicate replica servers: {reps:?}");
+            for &s in reps {
+                assert!(s < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_roughly_balanced() {
+        let mut rng = Rng64::new(1701);
+        let m = Master::place(10_000, 8, 3, &mut rng).unwrap();
+        assert!(m.primary_imbalance() < 1.15, "imbalance {}", m.primary_imbalance());
+    }
+
+    #[test]
+    fn read_target_is_a_replica() {
+        let mut rng = Rng64::new(1702);
+        let m = Master::place(50, 4, 2, &mut rng).unwrap();
+        for c in 0..50 {
+            let chunk = ChunkHandle(c);
+            let t = m.read_target(chunk, &mut rng);
+            assert!(m.replicas(chunk).contains(&t));
+        }
+    }
+
+    #[test]
+    fn single_server_placement() {
+        let mut rng = Rng64::new(1703);
+        let m = Master::place(10, 1, 1, &mut rng).unwrap();
+        for c in 0..10 {
+            assert_eq!(m.primary(ChunkHandle(c)), 0);
+        }
+    }
+
+    #[test]
+    fn chunk_lbns_are_distinct_and_chunk_aligned() {
+        let mut rng = Rng64::new(1704);
+        let m = Master::place(100, 2, 1, &mut rng).unwrap();
+        let mut bases: Vec<u64> = (0..100).map(|c| m.chunk_base_lbn(ChunkHandle(c))).collect();
+        for &b in &bases {
+            assert_eq!(b % LBNS_PER_CHUNK, 0);
+        }
+        bases.sort_unstable();
+        bases.dedup();
+        assert!(bases.len() > 90, "too many LBN collisions: {}", bases.len());
+    }
+
+    #[test]
+    fn invalid_placements_rejected() {
+        let mut rng = Rng64::new(1705);
+        assert!(Master::place(10, 0, 1, &mut rng).is_err());
+        assert!(Master::place(10, 2, 3, &mut rng).is_err());
+        assert!(Master::place(10, 2, 0, &mut rng).is_err());
+        assert!(Master::place(0, 2, 1, &mut rng).is_err());
+    }
+}

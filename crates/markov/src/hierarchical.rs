@@ -1,0 +1,262 @@
+//! Two-level hierarchical Markov models.
+//!
+//! Sankar et al.'s storage model is a state diagram over spatial-locality
+//! groups (e.g. logical block ranges), refined by per-group behaviour. The
+//! paper's §4 notes that KOOZA's simple per-subsystem chain "can be
+//! substituted by a corresponding hierarchical representation" for more
+//! detail — this type is that substitution.
+
+use kooza_sim::rng::Rng64;
+
+use crate::chain::{MarkovChain, MarkovChainBuilder};
+use crate::{MarkovError, Result};
+
+/// A hierarchical Markov model: an outer chain over groups and one inner
+/// chain per group over within-group states.
+///
+/// Generation emits `(group, inner_state)` pairs: the outer chain moves
+/// between groups; while the group is unchanged the group's inner chain
+/// moves, and on a group switch the new group's inner chain restarts from
+/// its initial distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalMarkov {
+    outer: MarkovChain,
+    inner: Vec<MarkovChain>,
+}
+
+impl HierarchicalMarkov {
+    /// Assembles a hierarchical model from a trained outer chain and one
+    /// inner chain per outer state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::StateOutOfRange`] if `inner.len()` does not
+    /// equal the outer state count.
+    pub fn new(outer: MarkovChain, inner: Vec<MarkovChain>) -> Result<Self> {
+        if inner.len() != outer.n_states() {
+            return Err(MarkovError::StateOutOfRange {
+                state: inner.len(),
+                n_states: outer.n_states(),
+            });
+        }
+        Ok(HierarchicalMarkov { outer, inner })
+    }
+
+    /// Trains from a sequence of `(group, inner_state)` observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InsufficientData`] for sequences shorter than
+    /// 2, or [`MarkovError::StateOutOfRange`] for out-of-range labels.
+    pub fn train(
+        seq: &[(usize, usize)],
+        n_groups: usize,
+        n_inner: usize,
+        smoothing: f64,
+    ) -> Result<Self> {
+        if seq.len() < 2 {
+            return Err(MarkovError::InsufficientData { needed: 2, got: seq.len() });
+        }
+        for &(g, s) in seq {
+            if g >= n_groups {
+                return Err(MarkovError::StateOutOfRange { state: g, n_states: n_groups });
+            }
+            if s >= n_inner {
+                return Err(MarkovError::StateOutOfRange { state: s, n_states: n_inner });
+            }
+        }
+        let mut outer_b = MarkovChainBuilder::new(n_groups).with_smoothing(smoothing);
+        let mut inner_b: Vec<MarkovChainBuilder> = (0..n_groups)
+            .map(|_| MarkovChainBuilder::new(n_inner).with_smoothing(smoothing))
+            .collect();
+        outer_b.record_start(seq[0].0);
+        inner_b[seq[0].0].record_start(seq[0].1);
+        for w in seq.windows(2) {
+            let (g0, s0) = w[0];
+            let (g1, s1) = w[1];
+            outer_b.record_transition(g0, g1);
+            if g0 == g1 {
+                // Within-group behaviour transition.
+                inner_b[g0].record_transition(s0, s1);
+            } else {
+                // Group switch: s1 is an initial observation for g1.
+                inner_b[g1].record_start(s1);
+            }
+        }
+        let outer = outer_b.build()?;
+        let inner: Result<Vec<MarkovChain>> = inner_b.into_iter().map(|b| b.build()).collect();
+        HierarchicalMarkov::new(outer, inner?)
+    }
+
+    /// The outer (group-level) chain.
+    pub fn outer(&self) -> &MarkovChain {
+        &self.outer
+    }
+
+    /// The inner chain for one group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn inner(&self, group: usize) -> &MarkovChain {
+        &self.inner[group]
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.outer.n_states()
+    }
+
+    /// Generates a sequence of `(group, inner_state)` pairs.
+    pub fn generate(&self, len: usize, rng: &mut Rng64) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(len);
+        if len == 0 {
+            return out;
+        }
+        let mut group = self.outer.sample_initial(rng);
+        let mut state = self.inner[group].sample_initial(rng);
+        out.push((group, state));
+        for _ in 1..len {
+            let next_group = self.outer.next_state(group, rng);
+            state = if next_group == group {
+                self.inner[group].next_state(state, rng)
+            } else {
+                self.inner[next_group].sample_initial(rng)
+            };
+            group = next_group;
+            out.push((group, state));
+        }
+        out
+    }
+
+    /// Log-likelihood of an observed `(group, inner)` sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::StateOutOfRange`] on invalid labels.
+    pub fn log_likelihood(&self, seq: &[(usize, usize)]) -> Result<f64> {
+        let n_groups = self.n_groups();
+        let mut ll = 0.0;
+        if let Some(&(g, s)) = seq.first() {
+            if g >= n_groups {
+                return Err(MarkovError::StateOutOfRange { state: g, n_states: n_groups });
+            }
+            ll += self.outer.initial()[g].max(1e-300).ln();
+            ll += self.inner[g].initial()[s.min(self.inner[g].n_states() - 1)]
+                .max(1e-300)
+                .ln();
+        }
+        for w in seq.windows(2) {
+            let (g0, s0) = w[0];
+            let (g1, s1) = w[1];
+            if g1 >= n_groups {
+                return Err(MarkovError::StateOutOfRange { state: g1, n_states: n_groups });
+            }
+            ll += self.outer.transition_probability(g0, g1).max(1e-300).ln();
+            if g0 == g1 {
+                ll += self.inner[g0].transition_probability(s0, s1).max(1e-300).ln();
+            } else {
+                ll += self.inner[g1].initial()[s1].max(1e-300).ln();
+            }
+        }
+        Ok(ll)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A source with strong structure: group 0 hosts alternating inner
+    /// states, group 1 hosts sticky inner states; groups are sticky.
+    fn structured_sequence(len: usize, seed: u64) -> Vec<(usize, usize)> {
+        let mut rng = Rng64::new(seed);
+        let mut group = 0usize;
+        let mut state = 0usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            if rng.chance(0.05) {
+                group = 1 - group;
+                state = 0;
+            } else if group == 0 {
+                state = 1 - state; // alternate
+            } else if rng.chance(0.1) {
+                state = 1 - state; // sticky
+            }
+            out.push((group, state));
+        }
+        out
+    }
+
+    #[test]
+    fn train_recovers_group_stickiness() {
+        let seq = structured_sequence(50_000, 800);
+        let model = HierarchicalMarkov::train(&seq, 2, 2, 0.0).unwrap();
+        assert!(model.outer().transition_probability(0, 0) > 0.9);
+        assert!(model.outer().transition_probability(1, 1) > 0.9);
+    }
+
+    #[test]
+    fn train_recovers_distinct_inner_behaviour() {
+        let seq = structured_sequence(50_000, 801);
+        let model = HierarchicalMarkov::train(&seq, 2, 2, 0.0).unwrap();
+        // Group 0 alternates; group 1 is sticky.
+        assert!(model.inner(0).transition_probability(0, 1) > 0.9);
+        assert!(model.inner(1).transition_probability(0, 0) > 0.8);
+    }
+
+    #[test]
+    fn generation_reproduces_structure() {
+        let seq = structured_sequence(50_000, 802);
+        let model = HierarchicalMarkov::train(&seq, 2, 2, 0.5).unwrap();
+        let mut rng = Rng64::new(803);
+        let synth = model.generate(50_000, &mut rng);
+        // Group-switch frequency preserved (~5%).
+        let switches = synth.windows(2).filter(|w| w[0].0 != w[1].0).count() as f64
+            / (synth.len() - 1) as f64;
+        assert!((switches - 0.05).abs() < 0.02, "switch rate {switches}");
+        // Within group 0, inner alternation dominates.
+        let mut alt = 0;
+        let mut same_total = 0;
+        for w in synth.windows(2) {
+            if w[0].0 == 0 && w[1].0 == 0 {
+                same_total += 1;
+                if w[0].1 != w[1].1 {
+                    alt += 1;
+                }
+            }
+        }
+        let frac = alt as f64 / same_total.max(1) as f64;
+        assert!(frac > 0.85, "alternation fraction {frac}");
+    }
+
+    #[test]
+    fn log_likelihood_prefers_true_model() {
+        let seq = structured_sequence(5000, 804);
+        let good = HierarchicalMarkov::train(&seq, 2, 2, 0.5).unwrap();
+        // A mismatched model trained on shuffled data.
+        let mut rng = Rng64::new(805);
+        let mut shuffled = seq.clone();
+        rng.shuffle(&mut shuffled);
+        let bad = HierarchicalMarkov::train(&shuffled, 2, 2, 0.5).unwrap();
+        let test = structured_sequence(5000, 806);
+        assert!(good.log_likelihood(&test).unwrap() > bad.log_likelihood(&test).unwrap());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(HierarchicalMarkov::train(&[(0, 0)], 1, 1, 1.0).is_err());
+        assert!(HierarchicalMarkov::train(&[(0, 0), (2, 0)], 2, 1, 1.0).is_err());
+        assert!(HierarchicalMarkov::train(&[(0, 0), (0, 3)], 1, 2, 1.0).is_err());
+        let outer = MarkovChainBuilder::new(2).build().unwrap();
+        let inner = vec![MarkovChainBuilder::new(2).build().unwrap()];
+        assert!(HierarchicalMarkov::new(outer, inner).is_err());
+    }
+
+    #[test]
+    fn generate_zero_length() {
+        let seq = structured_sequence(1000, 807);
+        let model = HierarchicalMarkov::train(&seq, 2, 2, 1.0).unwrap();
+        assert!(model.generate(0, &mut Rng64::new(1)).is_empty());
+    }
+}

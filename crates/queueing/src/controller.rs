@@ -1,0 +1,214 @@
+//! PI admission control (the Yaksha design).
+//!
+//! Kamra et al.'s Yaksha manages 3-tier web-site performance by placing a
+//! self-tuning PI controller in front of the system: it measures response
+//! time each control interval and throttles the admitted fraction of
+//! requests to hold a latency set-point. Basaran et al.'s fuzzy controller
+//! is motivated by the same loop — this is the classical baseline they
+//! compare against.
+
+use crate::analytic::mm1;
+use crate::{QueueError, Result};
+
+/// A discrete-time PI controller in *velocity form*:
+/// `u += Kp (e − e_prev) + Ki e dt`, clamped to the actuator range.
+/// Velocity form gives inherent anti-windup under clamping — the integral
+/// state *is* the clamped output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiController {
+    kp: f64,
+    ki: f64,
+    setpoint: f64,
+    prev_error: f64,
+    output_min: f64,
+    output_max: f64,
+    output: f64,
+}
+
+impl PiController {
+    /// Creates a PI controller.
+    ///
+    /// * `kp`, `ki` — proportional and integral gains (≥ 0, not both 0).
+    /// * `setpoint` — the target measurement value.
+    /// * `(output_min, output_max)` — actuator clamp (e.g. admission
+    ///   probability bounds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] for negative gains, both
+    /// gains zero, or an empty output range.
+    pub fn new(
+        kp: f64,
+        ki: f64,
+        setpoint: f64,
+        output_min: f64,
+        output_max: f64,
+    ) -> Result<Self> {
+        if !(kp.is_finite() && kp >= 0.0) {
+            return Err(QueueError::InvalidParameter { name: "kp", value: kp });
+        }
+        if !(ki.is_finite() && ki >= 0.0) {
+            return Err(QueueError::InvalidParameter { name: "ki", value: ki });
+        }
+        if kp == 0.0 && ki == 0.0 {
+            return Err(QueueError::InvalidParameter { name: "kp+ki", value: 0.0 });
+        }
+        if output_min >= output_max || output_min.is_nan() || output_max.is_nan() {
+            return Err(QueueError::InvalidParameter { name: "output_max", value: output_max });
+        }
+        Ok(PiController {
+            kp,
+            ki,
+            setpoint,
+            prev_error: 0.0,
+            output_min,
+            output_max,
+            output: output_max,
+        })
+    }
+
+    /// Target value.
+    pub fn setpoint(&self) -> f64 {
+        self.setpoint
+    }
+
+    /// Current actuator output.
+    pub fn output(&self) -> f64 {
+        self.output
+    }
+
+    /// Feeds one measurement; returns the new clamped output.
+    ///
+    /// Error sign convention: measurement above the set-point *reduces*
+    /// the output, right for throttling admission on high latency.
+    pub fn update(&mut self, measurement: f64, dt: f64) -> f64 {
+        let error = self.setpoint - measurement;
+        let delta = self.kp * (error - self.prev_error) + self.ki * error * dt;
+        self.prev_error = error;
+        self.output = (self.output + delta).clamp(self.output_min, self.output_max);
+        self.output
+    }
+
+    /// Resets the error history and re-opens the actuator.
+    pub fn reset(&mut self) {
+        self.prev_error = 0.0;
+        self.output = self.output_max;
+    }
+}
+
+/// Closed-loop admission control over an M/M/1 plant: each interval the
+/// controller observes the latency produced by the admitted load and
+/// adjusts the admission probability. Returns the trajectory of
+/// `(admission_probability, latency_secs)` pairs.
+///
+/// This is the harness the Yaksha experiment uses; it is exposed so tests
+/// and benches can study convergence.
+///
+/// # Errors
+///
+/// Propagates controller and queue parameter errors.
+pub fn admission_control_trajectory(
+    offered_rate: f64,
+    service_rate: f64,
+    latency_setpoint_secs: f64,
+    intervals: usize,
+    controller: &mut PiController,
+) -> Result<Vec<(f64, f64)>> {
+    if !(offered_rate.is_finite() && offered_rate > 0.0) {
+        return Err(QueueError::InvalidParameter { name: "offered_rate", value: offered_rate });
+    }
+    if !(service_rate.is_finite() && service_rate > 0.0) {
+        return Err(QueueError::InvalidParameter { name: "service_rate", value: service_rate });
+    }
+    let mut out = Vec::with_capacity(intervals);
+    let mut admit = controller.output().clamp(0.0, 1.0);
+    for _ in 0..intervals {
+        let admitted = (offered_rate * admit).min(service_rate * 0.999);
+        let latency = if admitted <= 0.0 {
+            1.0 / service_rate
+        } else {
+            mm1(admitted, service_rate)
+                .map(|m| m.mean_response)
+                .unwrap_or(latency_setpoint_secs * 100.0)
+        };
+        out.push((admit, latency));
+        // Measurement saturation: latency observations are clamped at 10×
+        // the set-point (a measurement timeout), keeping the loop gain
+        // bounded near server saturation where M/M/1 latency diverges.
+        let measured = latency.min(10.0 * latency_setpoint_secs);
+        admit = controller.update(measured, 1.0).clamp(0.0, 1.0);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(PiController::new(-1.0, 0.0, 1.0, 0.0, 1.0).is_err());
+        assert!(PiController::new(0.0, 0.0, 1.0, 0.0, 1.0).is_err());
+        assert!(PiController::new(1.0, 0.1, 1.0, 1.0, 1.0).is_err());
+        assert!(PiController::new(1.0, 0.1, 1.0, 0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn output_clamped() {
+        let mut c = PiController::new(10.0, 0.0, 0.5, 0.0, 1.0).unwrap();
+        // Huge positive error → clamp at max.
+        assert_eq!(c.update(-100.0, 1.0), 1.0);
+        // Huge negative error → clamp at min.
+        assert_eq!(c.update(100.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn proportional_direction_is_correct() {
+        let mut c = PiController::new(0.5, 0.0, 1.0, 0.0, 1.0).unwrap();
+        // Measurement above set-point → output decreases from max.
+        let u = c.update(1.5, 1.0);
+        assert!(u < 1.0, "u = {u}");
+        // Measurement below set-point → output increases again.
+        let u2 = c.update(0.2, 1.0);
+        assert!(u2 > u, "u2 = {u2}");
+    }
+
+    #[test]
+    fn admission_control_converges_to_setpoint() {
+        // Plant: offered 180 req/s at a 100 req/s server; target 50 ms.
+        // M/M/1 at 50 ms response needs λ = μ − 1/W = 100 − 20 = 80 req/s →
+        // admission ≈ 0.444.
+        let mut c = PiController::new(0.5, 2.0, 0.05, 0.0, 1.0).unwrap();
+        let traj =
+            admission_control_trajectory(180.0, 100.0, 0.05, 300, &mut c).unwrap();
+        let (admit, latency) = *traj.last().unwrap();
+        assert!((latency - 0.05).abs() < 0.005, "latency {latency}");
+        assert!((admit - 0.444).abs() < 0.05, "admission {admit}");
+    }
+
+    #[test]
+    fn underloaded_system_admits_everything() {
+        // Offered 30 req/s, server 100 req/s → latency below any sane
+        // set-point; the controller should keep admission at 1.
+        let mut c = PiController::new(0.5, 2.0, 0.05, 0.0, 1.0).unwrap();
+        let traj = admission_control_trajectory(30.0, 100.0, 0.05, 100, &mut c).unwrap();
+        let (admit, _) = *traj.last().unwrap();
+        assert!(admit > 0.95, "admission {admit}");
+    }
+
+    #[test]
+    fn reset_restores_full_admission() {
+        let mut c = PiController::new(0.5, 2.0, 0.05, 0.0, 1.0).unwrap();
+        c.update(10.0, 1.0);
+        assert!(c.output() < 1.0);
+        c.reset();
+        assert_eq!(c.output(), 1.0);
+    }
+
+    #[test]
+    fn trajectory_validation() {
+        let mut c = PiController::new(0.5, 2.0, 0.05, 0.0, 1.0).unwrap();
+        assert!(admission_control_trajectory(0.0, 100.0, 0.05, 10, &mut c).is_err());
+        assert!(admission_control_trajectory(10.0, 0.0, 0.05, 10, &mut c).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Queueing substrate: arrival processes, analytic queues, simulated
+//! queueing networks, multi-tier web models, layered queueing, admission
+//! control and SQS-style sampled simulation.
+//!
+//! This crate is both KOOZA's network model (the paper uses "a simple
+//! queueing model to represent the arrival-rate of user-requests") and the
+//! collection of in-depth baselines the paper surveys:
+//!
+//! * [`arrival`] — Poisson, renewal, Markov-modulated (MMPP), self-similar
+//!   (Pareto on/off superposition) and SURGE-style user-equivalent arrival
+//!   processes.
+//! * [`analytic`] — closed forms for M/M/1, M/M/c (Erlang-C) and M/G/1
+//!   (Pollaczek–Khinchine).
+//! * [`network`] — an event-driven open queueing-network simulator.
+//! * [`tier`] — Liu et al.'s 3-tier web application model.
+//! * [`lqn`] — a layered queueing network with nested resource possession.
+//! * [`mva`] — exact Mean Value Analysis for closed networks and the
+//!   Kingman G/G/1 approximation.
+//! * [`controller`] — the Yaksha-style PI admission controller.
+//! * [`sqs`] — Meisner et al.'s stochastic queueing simulation: empirical
+//!   characterization plus sampled simulation.
+
+// Indexed loops are the clearer idiom in the numerical kernels below.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analytic;
+pub mod arrival;
+pub mod controller;
+pub mod lqn;
+pub mod mva;
+pub mod network;
+pub mod sqs;
+pub mod tier;
+
+/// Errors from queueing-model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueError {
+    /// Offered load meets or exceeds capacity; steady state does not exist.
+    Unstable {
+        /// Offered utilization ρ.
+        rho: f64,
+    },
+    /// A parameter was out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Structural problem in a network/model description.
+    InvalidTopology(String),
+    /// Not enough data for characterization.
+    InsufficientData {
+        /// Minimum required.
+        needed: usize,
+        /// Provided.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::Unstable { rho } => write!(f, "queue unstable at utilization {rho}"),
+            QueueError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            QueueError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            QueueError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QueueError>;

@@ -1,0 +1,311 @@
+//! A layered queueing network (LQN) with nested resource possession.
+//!
+//! Franks et al. and Imieowski "propose the use of LQNs in order to
+//! demonstrate the nested possession of multiple resources": an upper-layer
+//! server (e.g. a web-server thread) is *held* for the entire request,
+//! including while it blocks on a lower-layer call (e.g. the database). The
+//! paper's criticism — that the concurrent-queue complexity "often makes it
+//! prohibitive for large scale experiments" — is exactly what the
+//! cross-examination harness quantifies against simpler models.
+//!
+//! This module simulates a two-layer LQN exactly; deeper stacks compose by
+//! treating the lower layer's response time as the next layer's service.
+
+use std::collections::HashMap;
+
+use kooza_sim::rng::Rng64;
+use kooza_sim::{Engine, ServerPool, SimDuration, SimTime, Tally};
+use kooza_stats::dist::Distribution;
+
+use crate::arrival::ArrivalProcess;
+use crate::{QueueError, Result};
+
+/// Configuration of a two-layer LQN.
+#[derive(Debug)]
+pub struct LqnConfig {
+    /// Upper-layer servers (threads); each is held for the whole request.
+    pub upper_servers: usize,
+    /// Lower-layer servers (e.g. database connections).
+    pub lower_servers: usize,
+    /// CPU work before the nested call, seconds.
+    pub pre_service: Box<dyn Distribution>,
+    /// Lower-layer service time, seconds.
+    pub lower_service: Box<dyn Distribution>,
+    /// CPU work after the nested call returns, seconds.
+    pub post_service: Box<dyn Distribution>,
+    /// Number of nested lower-layer calls per request.
+    pub calls_per_request: u32,
+}
+
+/// Simulation output of the LQN.
+#[derive(Debug, Clone)]
+pub struct LqnResults {
+    /// End-to-end response times, seconds.
+    pub response_secs: Tally,
+    /// Time-averaged upper-layer (thread pool) utilization.
+    pub upper_utilization: f64,
+    /// Time-averaged lower-layer utilization.
+    pub lower_utilization: f64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Simulated makespan, seconds.
+    pub makespan_secs: f64,
+}
+
+impl LqnResults {
+    /// Throughput in requests/second.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.makespan_secs > 0.0 {
+            self.completed as f64 / self.makespan_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    External { id: u64 },
+    /// Pre-call CPU phase done; issue the nested call.
+    PreDone { id: u64 },
+    /// Lower-layer service done for this request.
+    LowerDone { id: u64 },
+    /// Post-call CPU phase done; request completes, thread released.
+    PostDone { id: u64 },
+}
+
+/// Simulates `n_requests` through the two-layer LQN.
+///
+/// # Errors
+///
+/// Returns [`QueueError::InvalidParameter`] for zero server counts or
+/// zero calls per request.
+pub fn simulate_lqn(
+    config: &LqnConfig,
+    arrivals: &mut dyn ArrivalProcess,
+    n_requests: u64,
+    rng: &mut Rng64,
+) -> Result<LqnResults> {
+    if config.upper_servers == 0 {
+        return Err(QueueError::InvalidParameter { name: "upper_servers", value: 0.0 });
+    }
+    if config.lower_servers == 0 {
+        return Err(QueueError::InvalidParameter { name: "lower_servers", value: 0.0 });
+    }
+    if config.calls_per_request == 0 {
+        return Err(QueueError::InvalidParameter { name: "calls_per_request", value: 0.0 });
+    }
+
+    let mut engine: Engine<Ev> = Engine::new();
+    let mut upper: ServerPool<u64> = ServerPool::new(config.upper_servers);
+    let mut lower: ServerPool<u64> = ServerPool::new(config.lower_servers);
+    let mut entry: HashMap<u64, SimTime> = HashMap::new();
+    let mut remaining_calls: HashMap<u64, u32> = HashMap::new();
+    let mut response = Tally::new();
+    let mut completed = 0u64;
+    let mut next_id = 0u64;
+
+    let dur = |d: &dyn Distribution, rng: &mut Rng64| {
+        SimDuration::from_secs_f64(d.sample(rng).max(0.0))
+    };
+
+    if n_requests > 0 {
+        let first = arrivals.next_gap(rng);
+        engine.schedule(SimDuration::from_secs_f64(first.max(0.0)), Ev::External { id: 0 });
+        next_id = 1;
+    }
+
+    while let Some((now, ev)) = engine.next() {
+        match ev {
+            Ev::External { id } => {
+                if next_id < n_requests {
+                    let gap = arrivals.next_gap(rng);
+                    engine.schedule(
+                        SimDuration::from_secs_f64(gap.max(0.0)),
+                        Ev::External { id: next_id },
+                    );
+                    next_id += 1;
+                }
+                entry.insert(id, now);
+                remaining_calls.insert(id, config.calls_per_request);
+                // Acquire a thread; held until PostDone.
+                if let Some(job) = upper.arrive(now, id) {
+                    engine.schedule(dur(config.pre_service.as_ref(), rng), Ev::PreDone { id: job });
+                }
+            }
+            Ev::PreDone { id } => {
+                // Thread blocks; the request queues at the lower layer.
+                if let Some(job) = lower.arrive(now, id) {
+                    engine.schedule(
+                        dur(config.lower_service.as_ref(), rng),
+                        Ev::LowerDone { id: job },
+                    );
+                }
+            }
+            Ev::LowerDone { id } => {
+                // Release the lower server (start the next queued call).
+                if let Some(job) = lower.complete(now) {
+                    engine.schedule(
+                        dur(config.lower_service.as_ref(), rng),
+                        Ev::LowerDone { id: job },
+                    );
+                }
+                let calls = remaining_calls.get_mut(&id).expect("tracked request");
+                *calls -= 1;
+                if *calls > 0 {
+                    // Another nested call (still holding the thread).
+                    if let Some(job) = lower.arrive(now, id) {
+                        engine.schedule(
+                            dur(config.lower_service.as_ref(), rng),
+                            Ev::LowerDone { id: job },
+                        );
+                    }
+                } else {
+                    engine.schedule(dur(config.post_service.as_ref(), rng), Ev::PostDone { id });
+                }
+            }
+            Ev::PostDone { id } => {
+                remaining_calls.remove(&id);
+                if let Some(t0) = entry.remove(&id) {
+                    response.record((now - t0).as_secs_f64());
+                }
+                completed += 1;
+                // Release the thread; admit the next queued request.
+                if let Some(job) = upper.complete(now) {
+                    engine.schedule(dur(config.pre_service.as_ref(), rng), Ev::PreDone { id: job });
+                }
+            }
+        }
+    }
+
+    let end = engine.now();
+    Ok(LqnResults {
+        response_secs: response,
+        upper_utilization: upper.utilization(end),
+        lower_utilization: lower.utilization(end),
+        completed,
+        makespan_secs: end.as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::PoissonArrivals;
+    use kooza_stats::dist::Exponential;
+
+    fn config(upper: usize, lower: usize, calls: u32) -> LqnConfig {
+        LqnConfig {
+            upper_servers: upper,
+            lower_servers: lower,
+            pre_service: Box::new(Exponential::with_mean(0.001).unwrap()),
+            lower_service: Box::new(Exponential::with_mean(0.004).unwrap()),
+            post_service: Box::new(Exponential::with_mean(0.001).unwrap()),
+            calls_per_request: calls,
+        }
+    }
+
+    #[test]
+    fn completes_all_requests() {
+        let cfg = config(16, 4, 1);
+        let mut arrivals = PoissonArrivals::new(100.0).unwrap();
+        let mut rng = Rng64::new(1500);
+        let res = simulate_lqn(&cfg, &mut arrivals, 20_000, &mut rng).unwrap();
+        assert_eq!(res.completed, 20_000);
+        // At least the raw work (0.006 mean) minus sampling slack.
+        assert!(res.response_secs.mean() > 0.0055, "mean {}", res.response_secs.mean());
+    }
+
+    #[test]
+    fn thread_starvation_from_nested_blocking() {
+        // The LQN signature: with few threads, upper-layer saturation
+        // driven by *lower-layer* slowness, even though threads do little
+        // CPU work themselves. Here the lower layer is slow (2 servers at
+        // 20 ms, ρ = 0.9 for 90 req/s) so each thread is held ~0.1 s.
+        let slow_lower = || LqnConfig {
+            upper_servers: 0, // set per call below
+            lower_servers: 2,
+            pre_service: Box::new(Exponential::with_mean(0.001).unwrap()),
+            lower_service: Box::new(Exponential::with_mean(0.02).unwrap()),
+            post_service: Box::new(Exponential::with_mean(0.001).unwrap()),
+            calls_per_request: 1,
+        };
+        let mut rng = Rng64::new(1501);
+        let many = simulate_lqn(
+            &LqnConfig { upper_servers: 64, ..slow_lower() },
+            &mut PoissonArrivals::new(90.0).unwrap(),
+            20_000,
+            &mut rng,
+        )
+        .unwrap();
+        // 2 threads, each held ~24 ms per request (2 ms CPU + ~22 ms in the
+        // lower layer at low concurrency) → pool capacity ≈ 83 req/s,
+        // below the 90 req/s offered: the thread pool saturates even
+        // though its own CPU demand is only 0.002 × 90 = 18% of one server.
+        let few = simulate_lqn(
+            &LqnConfig { upper_servers: 2, ..slow_lower() },
+            &mut PoissonArrivals::new(90.0).unwrap(),
+            20_000,
+            &mut rng,
+        )
+        .unwrap();
+        // Few threads → thread pool close to saturation and latency
+        // inflated. (The 3-thread pool self-throttles the lower layer, so
+        // utilization settles below the open-system estimate.)
+        assert!(few.upper_utilization > 0.95, "upper util {}", few.upper_utilization);
+        assert!(few.upper_utilization > 2.0 * many.upper_utilization);
+        assert!(
+            few.response_secs.mean() > 1.5 * many.response_secs.mean(),
+            "few {} vs many {}",
+            few.response_secs.mean(),
+            many.response_secs.mean()
+        );
+    }
+
+    #[test]
+    fn more_nested_calls_longer_response() {
+        let mut rng = Rng64::new(1502);
+        let one = simulate_lqn(
+            &config(32, 8, 1),
+            &mut PoissonArrivals::new(50.0).unwrap(),
+            20_000,
+            &mut rng,
+        )
+        .unwrap();
+        let three = simulate_lqn(
+            &config(32, 8, 3),
+            &mut PoissonArrivals::new(50.0).unwrap(),
+            20_000,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(three.response_secs.mean() > 2.0 * one.response_secs.mean());
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_when_stable() {
+        let cfg = config(32, 16, 1);
+        let mut arrivals = PoissonArrivals::new(80.0).unwrap();
+        let mut rng = Rng64::new(1503);
+        let res = simulate_lqn(&cfg, &mut arrivals, 40_000, &mut rng).unwrap();
+        assert!((res.throughput_per_sec() - 80.0).abs() < 3.0, "tput {}", res.throughput_per_sec());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut arrivals = PoissonArrivals::new(1.0).unwrap();
+        let mut rng = Rng64::new(1);
+        assert!(simulate_lqn(&config(0, 1, 1), &mut arrivals, 1, &mut rng).is_err());
+        assert!(simulate_lqn(&config(1, 0, 1), &mut arrivals, 1, &mut rng).is_err());
+        assert!(simulate_lqn(&config(1, 1, 0), &mut arrivals, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_requests_noop() {
+        let cfg = config(2, 2, 1);
+        let mut arrivals = PoissonArrivals::new(1.0).unwrap();
+        let mut rng = Rng64::new(2);
+        let res = simulate_lqn(&cfg, &mut arrivals, 0, &mut rng).unwrap();
+        assert_eq!(res.completed, 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Closed-network analysis: exact Mean Value Analysis (MVA) and the
+//! Kingman G/G/1 approximation.
+//!
+//! The surveyed literature leans on both: closed queueing networks are the
+//! "current applications of VU-lists" (Luthi) and the backbone of
+//! interactive-user models (a fixed population cycling think → service),
+//! while Kingman's formula is the standard bridge from *measured*
+//! arrival/service variability (the characterization outputs of
+//! [`crate::sqs`] and `kooza-trace`) to waiting-time predictions without
+//! assuming Poisson anything.
+
+use crate::{QueueError, Result};
+
+/// Result of an exact MVA solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvaSolution {
+    /// System throughput, customers/second.
+    pub throughput: f64,
+    /// Mean response time per cycle across all stations (excluding think
+    /// time), seconds.
+    pub response_secs: f64,
+    /// Per-station mean queue lengths (jobs, including in service).
+    pub queue_lengths: Vec<f64>,
+    /// Per-station utilizations.
+    pub utilizations: Vec<f64>,
+}
+
+/// Exact MVA for a closed product-form network of single-server FIFO
+/// stations plus an (optional) infinite-server think station.
+///
+/// * `n_customers` — the fixed population.
+/// * `think_secs` — mean think time (0 for a batch system).
+/// * `demands_secs` — per-station service demand per cycle
+///   (visit ratio × service time).
+///
+/// # Errors
+///
+/// Returns [`QueueError::InvalidParameter`] for zero customers, negative
+/// times, or an empty station list.
+///
+/// ```
+/// use kooza_queueing::mva::closed_mva;
+/// // One customer, 1 s think, one 0.5 s station: cycle = 1.5 s.
+/// let s = closed_mva(1, 1.0, &[0.5])?;
+/// assert!((s.throughput - 1.0 / 1.5).abs() < 1e-12);
+/// assert!((s.response_secs - 0.5).abs() < 1e-12);
+/// # Ok::<(), kooza_queueing::QueueError>(())
+/// ```
+pub fn closed_mva(n_customers: usize, think_secs: f64, demands_secs: &[f64]) -> Result<MvaSolution> {
+    if n_customers == 0 {
+        return Err(QueueError::InvalidParameter { name: "n_customers", value: 0.0 });
+    }
+    if !(think_secs.is_finite() && think_secs >= 0.0) {
+        return Err(QueueError::InvalidParameter { name: "think_secs", value: think_secs });
+    }
+    if demands_secs.is_empty() {
+        return Err(QueueError::InvalidTopology("MVA needs at least one station".into()));
+    }
+    for &d in demands_secs {
+        if !(d.is_finite() && d > 0.0) {
+            return Err(QueueError::InvalidParameter { name: "demand", value: d });
+        }
+    }
+    let k = demands_secs.len();
+    let mut queue = vec![0.0f64; k];
+    let mut throughput = 0.0;
+    let mut response = 0.0;
+    for n in 1..=n_customers {
+        // Arrival theorem: an arriving customer sees the queue of the
+        // network with one fewer customer.
+        let residence: Vec<f64> = demands_secs
+            .iter()
+            .zip(&queue)
+            .map(|(&d, &q)| d * (1.0 + q))
+            .collect();
+        response = residence.iter().sum();
+        throughput = n as f64 / (think_secs + response);
+        for i in 0..k {
+            queue[i] = throughput * residence[i];
+        }
+    }
+    let utilizations = demands_secs.iter().map(|&d| throughput * d).collect();
+    Ok(MvaSolution {
+        throughput,
+        response_secs: response,
+        queue_lengths: queue,
+        utilizations,
+    })
+}
+
+/// Kingman's G/G/1 waiting-time approximation:
+/// `Wq ≈ (ρ / (1 − ρ)) · ((Ca² + Cs²) / 2) · E[S]`.
+///
+/// `ca2`/`cs2` are the squared coefficients of variation of inter-arrival
+/// and service times — exactly what trace characterization produces.
+///
+/// # Errors
+///
+/// Returns [`QueueError::Unstable`] when `ρ ≥ 1`, or parameter errors.
+///
+/// ```
+/// use kooza_queueing::analytic::mm1;
+/// use kooza_queueing::mva::kingman_gg1;
+/// // With Ca² = Cs² = 1 (M/M/1), Kingman is exact.
+/// let approx = kingman_gg1(8.0, 1.0, 0.1, 1.0)?;
+/// let exact = mm1(8.0, 10.0)?;
+/// assert!((approx - exact.mean_wait).abs() < 1e-12);
+/// # Ok::<(), kooza_queueing::QueueError>(())
+/// ```
+pub fn kingman_gg1(lambda: f64, ca2: f64, service_mean: f64, cs2: f64) -> Result<f64> {
+    for (name, v) in [("lambda", lambda), ("service_mean", service_mean)] {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(QueueError::InvalidParameter { name, value: v });
+        }
+    }
+    for (name, v) in [("ca2", ca2), ("cs2", cs2)] {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(QueueError::InvalidParameter { name, value: v });
+        }
+    }
+    let rho = lambda * service_mean;
+    if rho >= 1.0 {
+        return Err(QueueError::Unstable { rho });
+    }
+    Ok(rho / (1.0 - rho) * (ca2 + cs2) / 2.0 * service_mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{ArrivalProcess, PoissonArrivals, RenewalArrivals};
+    use crate::network::{simulate, NetworkConfig, NodeConfig};
+    use kooza_sim::rng::Rng64;
+    use kooza_stats::dist::{Distribution, Exponential, LogNormal};
+
+    #[test]
+    fn single_customer_cycle_time() {
+        let s = closed_mva(1, 2.0, &[0.5, 0.3]).unwrap();
+        // Cycle = think + demands; no queueing with one customer.
+        assert!((s.throughput - 1.0 / 2.8).abs() < 1e-12);
+        assert!((s.response_secs - 0.8).abs() < 1e-12);
+        for (q, u) in s.queue_lengths.iter().zip(&s.utilizations) {
+            assert!(*q < 1.0);
+            assert!(*u < 1.0);
+        }
+    }
+
+    #[test]
+    fn throughput_saturates_at_bottleneck() {
+        // Bottleneck demand 0.1 s → asymptotic throughput 10/s.
+        let demands = [0.1, 0.05];
+        let s = closed_mva(200, 1.0, &demands).unwrap();
+        assert!((s.throughput - 10.0).abs() < 0.01, "tput {}", s.throughput);
+        assert!(s.utilizations[0] > 0.99);
+    }
+
+    #[test]
+    fn throughput_monotone_in_population() {
+        let demands = [0.08, 0.02];
+        let mut prev = 0.0;
+        for n in 1..=50 {
+            let s = closed_mva(n, 0.5, &demands).unwrap();
+            assert!(s.throughput >= prev - 1e-12, "n={n}");
+            prev = s.throughput;
+        }
+    }
+
+    #[test]
+    fn mva_matches_mm1_open_limit() {
+        // Large population with long think time approximates an open M/M/1
+        // at λ = N / (Z + R). Check self-consistency of the fixed point.
+        let s = closed_mva(50, 10.0, &[0.05]).unwrap();
+        let lambda = s.throughput;
+        let rho = lambda * 0.05;
+        assert!(rho < 1.0);
+        let open_r = 0.05 / (1.0 - rho);
+        assert!(
+            (s.response_secs - open_r).abs() / open_r < 0.05,
+            "MVA {} vs open {}",
+            s.response_secs,
+            open_r
+        );
+    }
+
+    #[test]
+    fn mva_validation() {
+        assert!(closed_mva(0, 1.0, &[0.1]).is_err());
+        assert!(closed_mva(1, -1.0, &[0.1]).is_err());
+        assert!(closed_mva(1, 1.0, &[]).is_err());
+        assert!(closed_mva(1, 1.0, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn kingman_exact_for_mm1() {
+        use crate::analytic::mm1;
+        for lambda in [1.0, 4.0, 8.0] {
+            let approx = kingman_gg1(lambda, 1.0, 0.1, 1.0).unwrap();
+            let exact = mm1(lambda, 10.0).unwrap().mean_wait;
+            assert!((approx - exact).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kingman_tracks_simulated_gg1() {
+        // Lognormal service (cs² from the distribution), Poisson arrivals.
+        let service = LogNormal::new(-3.2, 0.6).unwrap();
+        let cs2 = service.variance() / (service.mean() * service.mean());
+        let lambda = 12.0;
+        let approx = kingman_gg1(lambda, 1.0, service.mean(), cs2).unwrap();
+        let config = NetworkConfig::tandem(vec![NodeConfig {
+            name: "g".into(),
+            servers: 1,
+            service: Box::new(service),
+        }]);
+        let mut arrivals = PoissonArrivals::new(lambda).unwrap();
+        let mut rng = Rng64::new(1800);
+        let res = simulate(&config, &mut arrivals, 150_000, &mut rng).unwrap();
+        let sim_wait = res.nodes[0].mean_wait_secs;
+        assert!(
+            (approx - sim_wait).abs() / sim_wait < 0.1,
+            "kingman {approx} vs sim {sim_wait}"
+        );
+    }
+
+    #[test]
+    fn kingman_penalizes_variability() {
+        let smooth = kingman_gg1(8.0, 0.2, 0.1, 0.2).unwrap();
+        let bursty = kingman_gg1(8.0, 4.0, 0.1, 4.0).unwrap();
+        assert!(bursty > 10.0 * smooth);
+    }
+
+    #[test]
+    fn kingman_validation() {
+        assert!(kingman_gg1(10.0, 1.0, 0.1, 1.0).is_err()); // rho = 1
+        assert!(kingman_gg1(0.0, 1.0, 0.1, 1.0).is_err());
+        assert!(kingman_gg1(1.0, -1.0, 0.1, 1.0).is_err());
+    }
+
+    #[test]
+    fn kingman_works_with_measured_cv2() {
+        // End-to-end with characterization: measure ca² from generated
+        // gaps, cs² from service samples, and predict.
+        let mut gaps_src =
+            RenewalArrivals::new(Box::new(Exponential::with_mean(0.02).unwrap()));
+        let mut rng = Rng64::new(1801);
+        let gaps: Vec<f64> = (0..20_000).map(|_| gaps_src.next_gap(&mut rng)).collect();
+        let ca2 = kooza_stats::summary::burstiness_cv2(&gaps).unwrap();
+        let service = Exponential::with_mean(0.01).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| service.sample(&mut rng)).collect();
+        let mean_s = samples.iter().sum::<f64>() / samples.len() as f64;
+        let cs2 = kooza_stats::summary::burstiness_cv2(&samples).unwrap();
+        let w = kingman_gg1(1.0 / 0.02, ca2, mean_s, cs2).unwrap();
+        // Exact M/M/1 Wq = rho/(mu - lambda) = 0.5/(100-50) = 0.01.
+        assert!((w - 0.01).abs() < 0.002, "w = {w}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Stochastic Queuing Simulation (SQS), after Meisner et al.
+//!
+//! SQS has two phases: an online *characterization* phase that builds
+//! empirical arrival and service distributions from observations, and a
+//! *simulation* phase that drives a queueing model from (samples of) those
+//! empirical distributions. Its pitch is scale: sampling the observation
+//! stream barely moves the estimates while cutting cost — the claim
+//! `exp_sqs_scaling` quantifies.
+
+use kooza_sim::rng::Rng64;
+use kooza_stats::dist::{Distribution, Empirical};
+use kooza_stats::summary::Summary;
+
+use crate::arrival::RenewalArrivals;
+use crate::network::{simulate, NetworkConfig, NetworkResults, NodeConfig};
+use crate::{QueueError, Result};
+
+/// An SQS model: empirical inter-arrival and service distributions
+/// captured from an observation stream.
+#[derive(Debug, Clone)]
+pub struct SqsModel {
+    interarrivals: Empirical,
+    services: Empirical,
+    observed: usize,
+}
+
+impl SqsModel {
+    /// Characterization phase: build the empirical model from observed
+    /// inter-arrival gaps and service times (seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InsufficientData`] with fewer than 10 of
+    /// either observation.
+    pub fn characterize(interarrivals: &[f64], services: &[f64]) -> Result<Self> {
+        if interarrivals.len() < 10 {
+            return Err(QueueError::InsufficientData { needed: 10, got: interarrivals.len() });
+        }
+        if services.len() < 10 {
+            return Err(QueueError::InsufficientData { needed: 10, got: services.len() });
+        }
+        let interarrivals = Empirical::from_sample(interarrivals)
+            .map_err(|_| QueueError::InvalidParameter { name: "interarrivals", value: f64::NAN })?;
+        let services = Empirical::from_sample(services)
+            .map_err(|_| QueueError::InvalidParameter { name: "services", value: f64::NAN })?;
+        Ok(SqsModel {
+            observed: interarrivals.len() + services.len(),
+            interarrivals,
+            services,
+        })
+    }
+
+    /// Characterization with 1-in-`rate` systematic sampling of both
+    /// streams — the lever SQS uses to scale to thousands of machines.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`characterize`](SqsModel::characterize), applied after
+    /// sampling.
+    pub fn characterize_sampled(
+        interarrivals: &[f64],
+        services: &[f64],
+        rate: usize,
+    ) -> Result<Self> {
+        if rate == 0 {
+            return Err(QueueError::InvalidParameter { name: "rate", value: 0.0 });
+        }
+        let ia: Vec<f64> = interarrivals.iter().step_by(rate).copied().collect();
+        let sv: Vec<f64> = services.iter().step_by(rate).copied().collect();
+        SqsModel::characterize(&ia, &sv)
+    }
+
+    /// Number of observations retained by characterization.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Mean observed arrival rate (events/second).
+    pub fn arrival_rate(&self) -> f64 {
+        1.0 / self.interarrivals.mean()
+    }
+
+    /// Mean observed service time (seconds).
+    pub fn mean_service(&self) -> f64 {
+        self.services.mean()
+    }
+
+    /// Offered utilization per server for a `servers`-wide station.
+    pub fn offered_rho(&self, servers: usize) -> f64 {
+        self.arrival_rate() * self.mean_service() / servers.max(1) as f64
+    }
+
+    /// Simulation phase: drive a G/G/`servers` station with bootstrap
+    /// draws from the empirical distributions for `n_jobs` jobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-simulation errors.
+    pub fn simulate(&self, servers: usize, n_jobs: u64, rng: &mut Rng64) -> Result<NetworkResults> {
+        if servers == 0 {
+            return Err(QueueError::InvalidParameter { name: "servers", value: 0.0 });
+        }
+        let config = NetworkConfig::tandem(vec![NodeConfig {
+            name: "sqs".into(),
+            servers,
+            service: Box::new(self.services.clone()),
+        }]);
+        let mut arrivals = RenewalArrivals::new(Box::new(self.interarrivals.clone()));
+        simulate(&config, &mut arrivals, n_jobs, rng)
+    }
+
+    /// Convenience: simulate and return the latency summary in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; errors if nothing completed.
+    pub fn latency_summary(
+        &self,
+        servers: usize,
+        n_jobs: u64,
+        rng: &mut Rng64,
+    ) -> Result<Summary> {
+        let res = self.simulate(servers, n_jobs, rng)?;
+        if res.completed == 0 {
+            return Err(QueueError::InsufficientData { needed: 1, got: 0 });
+        }
+        Summary::of(&res.sojourn_samples)
+            .map_err(|_| QueueError::InsufficientData { needed: 1, got: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::mm1;
+    use kooza_stats::dist::Exponential;
+
+    fn exp_samples(mean: f64, n: usize, seed: u64) -> Vec<f64> {
+        let d = Exponential::with_mean(mean).unwrap();
+        let mut rng = Rng64::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn characterization_captures_rates() {
+        let ia = exp_samples(0.01, 20_000, 1600); // 100 req/s
+        let sv = exp_samples(0.005, 20_000, 1601); // 200 req/s capacity
+        let model = SqsModel::characterize(&ia, &sv).unwrap();
+        assert!((model.arrival_rate() - 100.0).abs() < 3.0, "rate {}", model.arrival_rate());
+        assert!((model.mean_service() - 0.005).abs() < 0.0002);
+        assert!((model.offered_rho(1) - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn sqs_simulation_matches_analytic_for_poisson_source() {
+        let ia = exp_samples(0.01, 50_000, 1602);
+        let sv = exp_samples(0.005, 50_000, 1603);
+        let model = SqsModel::characterize(&ia, &sv).unwrap();
+        let mut rng = Rng64::new(1604);
+        let res = model.simulate(1, 100_000, &mut rng).unwrap();
+        let analytic = mm1(100.0, 200.0).unwrap();
+        let err = (res.mean_response_secs() - analytic.mean_response).abs()
+            / analytic.mean_response;
+        assert!(err < 0.1, "relative error {err}");
+    }
+
+    #[test]
+    fn sampled_characterization_stays_close() {
+        // The SQS scaling claim in miniature: keeping 1 in 20 observations
+        // moves the latency estimate only slightly.
+        let ia = exp_samples(0.01, 50_000, 1605);
+        let sv = exp_samples(0.004, 50_000, 1606);
+        let full = SqsModel::characterize(&ia, &sv).unwrap();
+        let sampled = SqsModel::characterize_sampled(&ia, &sv, 20).unwrap();
+        assert!(sampled.observed() * 15 < full.observed());
+        let mut rng1 = Rng64::new(1607);
+        let mut rng2 = Rng64::new(1607);
+        let full_res = full.simulate(1, 50_000, &mut rng1).unwrap();
+        let sampled_res = sampled.simulate(1, 50_000, &mut rng2).unwrap();
+        let rel = (full_res.mean_response_secs() - sampled_res.mean_response_secs()).abs()
+            / full_res.mean_response_secs();
+        assert!(rel < 0.15, "sampled-vs-full latency divergence {rel}");
+    }
+
+    #[test]
+    fn characterization_needs_data() {
+        assert!(SqsModel::characterize(&[0.1; 5], &[0.1; 100]).is_err());
+        assert!(SqsModel::characterize(&[0.1; 100], &[0.1; 5]).is_err());
+        assert!(SqsModel::characterize_sampled(&[0.1; 100], &[0.1; 100], 0).is_err());
+        // Sampling down to below the floor also errors.
+        assert!(SqsModel::characterize_sampled(&[0.1; 100], &[0.1; 100], 50).is_err());
+    }
+
+    #[test]
+    fn more_servers_cut_latency() {
+        let ia = exp_samples(0.002, 30_000, 1608); // 500 req/s
+        let sv = exp_samples(0.005, 30_000, 1609); // per-server 200 req/s
+        let model = SqsModel::characterize(&ia, &sv).unwrap();
+        let mut rng = Rng64::new(1610);
+        let three = model.simulate(3, 40_000, &mut rng).unwrap();
+        let six = model.simulate(6, 40_000, &mut rng).unwrap();
+        assert!(six.mean_response_secs() < three.mean_response_secs());
+    }
+}

@@ -1,0 +1,212 @@
+//! Liu et al.'s 3-tier web-application model.
+//!
+//! "Their model consists of three multi-station queueing models, which
+//! emulate the Web, Application and Database tier respectively" and "is
+//! proven to accurately predict the performance metrics (throughput and
+//! latency) of request servicing". Here: an analytic prediction (per-tier
+//! M/M/c in tandem) plus a simulation path through [`crate::network`] used
+//! to validate the analytic model the way the paper describes.
+
+use kooza_sim::rng::Rng64;
+use kooza_stats::dist::Exponential;
+
+use crate::analytic::{mmc, QueueMetrics};
+use crate::arrival::ArrivalProcess;
+use crate::network::{simulate, NetworkConfig, NetworkResults, NodeConfig};
+use crate::{QueueError, Result};
+
+/// Configuration of one tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierConfig {
+    /// Parallel stations (threads/instances) in the tier.
+    pub servers: usize,
+    /// Mean service time per request, seconds (exponential).
+    pub mean_service_secs: f64,
+}
+
+/// Predicted steady-state performance of the 3-tier system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierPrediction {
+    /// Per-tier metrics (web, app, db).
+    pub tiers: Vec<QueueMetrics>,
+    /// End-to-end mean response time, seconds.
+    pub mean_response_secs: f64,
+    /// Sustained throughput, requests/second (equals the arrival rate when
+    /// stable).
+    pub throughput_per_sec: f64,
+}
+
+/// The 3-tier model: web, application and database tiers in tandem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreeTierModel {
+    tiers: [TierConfig; 3],
+}
+
+impl ThreeTierModel {
+    /// Creates a model from (web, app, db) tier configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::InvalidParameter`] for zero servers or
+    /// non-positive service times.
+    pub fn new(web: TierConfig, app: TierConfig, db: TierConfig) -> Result<Self> {
+        for t in [web, app, db] {
+            if t.servers == 0 {
+                return Err(QueueError::InvalidParameter { name: "servers", value: 0.0 });
+            }
+            if !(t.mean_service_secs.is_finite() && t.mean_service_secs > 0.0) {
+                return Err(QueueError::InvalidParameter {
+                    name: "mean_service_secs",
+                    value: t.mean_service_secs,
+                });
+            }
+        }
+        Ok(ThreeTierModel { tiers: [web, app, db] })
+    }
+
+    /// The tier configurations (web, app, db).
+    pub fn tiers(&self) -> &[TierConfig; 3] {
+        &self.tiers
+    }
+
+    /// The maximum sustainable arrival rate (requests/second): the
+    /// capacity of the bottleneck tier.
+    pub fn capacity_per_sec(&self) -> f64 {
+        self.tiers
+            .iter()
+            .map(|t| t.servers as f64 / t.mean_service_secs)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Analytic prediction at arrival rate `lambda` (requests/second):
+    /// per-tier M/M/c in tandem, response = sum of tier responses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Unstable`] if any tier saturates.
+    pub fn predict(&self, lambda: f64) -> Result<TierPrediction> {
+        let mut tiers = Vec::with_capacity(3);
+        let mut response = 0.0;
+        for t in &self.tiers {
+            let m = mmc(lambda, 1.0 / t.mean_service_secs, t.servers)?;
+            response += m.mean_response;
+            tiers.push(m);
+        }
+        Ok(TierPrediction {
+            tiers,
+            mean_response_secs: response,
+            throughput_per_sec: lambda,
+        })
+    }
+
+    /// Simulates the same system as an explicit queueing network (the
+    /// validation path). `arrivals` need not be Poisson — that is exactly
+    /// the sensitivity the Joo et al. comparison exercises.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-construction errors.
+    pub fn simulate(
+        &self,
+        arrivals: &mut dyn ArrivalProcess,
+        n_requests: u64,
+        rng: &mut Rng64,
+    ) -> Result<NetworkResults> {
+        let names = ["web", "app", "db"];
+        let nodes: Vec<NodeConfig> = self
+            .tiers
+            .iter()
+            .zip(names)
+            .map(|(t, name)| NodeConfig {
+                name: name.into(),
+                servers: t.servers,
+                service: Box::new(
+                    Exponential::with_mean(t.mean_service_secs).expect("validated in new()"),
+                ),
+            })
+            .collect();
+        let config = NetworkConfig::tandem(nodes);
+        simulate(&config, arrivals, n_requests, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::PoissonArrivals;
+
+    fn model() -> ThreeTierModel {
+        ThreeTierModel::new(
+            TierConfig { servers: 8, mean_service_secs: 0.002 },
+            TierConfig { servers: 4, mean_service_secs: 0.005 },
+            TierConfig { servers: 2, mean_service_secs: 0.008 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn capacity_is_bottleneck_tier() {
+        let m = model();
+        // db: 2 / 0.008 = 250 req/s is the bottleneck.
+        assert!((m.capacity_per_sec() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_sums_tier_responses() {
+        let m = model();
+        let p = m.predict(100.0).unwrap();
+        let sum: f64 = p.tiers.iter().map(|t| t.mean_response).sum();
+        assert!((p.mean_response_secs - sum).abs() < 1e-12);
+        assert_eq!(p.throughput_per_sec, 100.0);
+        assert_eq!(p.tiers.len(), 3);
+    }
+
+    #[test]
+    fn predict_rejects_overload() {
+        let m = model();
+        assert!(matches!(m.predict(260.0), Err(QueueError::Unstable { .. })));
+    }
+
+    #[test]
+    fn simulation_validates_analytic_prediction() {
+        // The paper's claim for Liu et al.: the analytic model accurately
+        // predicts throughput and latency. Reproduce in miniature.
+        let m = model();
+        let lambda = 150.0;
+        let predicted = m.predict(lambda).unwrap();
+        let mut arrivals = PoissonArrivals::new(lambda).unwrap();
+        let mut rng = Rng64::new(1400);
+        let sim = m.simulate(&mut arrivals, 120_000, &mut rng).unwrap();
+        let rel_err = (sim.mean_response_secs() - predicted.mean_response_secs).abs()
+            / predicted.mean_response_secs;
+        assert!(rel_err < 0.05, "latency error {rel_err}");
+        let tput_err = (sim.throughput_per_sec() - lambda).abs() / lambda;
+        assert!(tput_err < 0.05, "throughput error {tput_err}");
+    }
+
+    #[test]
+    fn latency_grows_toward_saturation() {
+        let m = model();
+        let l1 = m.predict(50.0).unwrap().mean_response_secs;
+        let l2 = m.predict(200.0).unwrap().mean_response_secs;
+        let l3 = m.predict(245.0).unwrap().mean_response_secs;
+        assert!(l1 < l2 && l2 < l3);
+        assert!(l3 > 2.0 * l1);
+    }
+
+    #[test]
+    fn validation_of_config() {
+        assert!(ThreeTierModel::new(
+            TierConfig { servers: 0, mean_service_secs: 0.01 },
+            TierConfig { servers: 1, mean_service_secs: 0.01 },
+            TierConfig { servers: 1, mean_service_secs: 0.01 },
+        )
+        .is_err());
+        assert!(ThreeTierModel::new(
+            TierConfig { servers: 1, mean_service_secs: 0.0 },
+            TierConfig { servers: 1, mean_service_secs: 0.01 },
+            TierConfig { servers: 1, mean_service_secs: 0.01 },
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! The discrete-event engine: a monotone clock plus a stable priority queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled event; ordered by time, then by insertion sequence so that
+/// simultaneous events fire in FIFO order (determinism).
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event engine over user-defined event values.
+///
+/// The engine owns the clock and the pending-event queue. Models drive their
+/// own loop with [`Engine::next`], or hand a handler to [`run`].
+///
+/// ```
+/// use kooza_sim::{Engine, SimDuration};
+///
+/// let mut eng = Engine::new();
+/// eng.schedule(SimDuration::from_secs(1), "tick");
+/// let (t, ev) = eng.next().unwrap();
+/// assert_eq!(ev, "tick");
+/// assert_eq!(t, eng.now());
+/// ```
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<E>>,
+    processed: u64,
+}
+
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time — the simulated past is
+    /// immutable.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past (now={}, at={})",
+            self.now,
+            at
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is empty (simulation end).
+    ///
+    /// Deliberately named like `Iterator::next` — the engine is consumed
+    /// the same way — but it is not an `Iterator` because handlers need
+    /// `&mut Engine` back between events.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let Scheduled { at, event, .. } = self.heap.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.processed += 1;
+        Some((at, event))
+    }
+
+    /// Peeks at the timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Discards all pending events (the clock keeps its value).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Runs `engine` to completion (or until `handler` stops scheduling),
+/// passing each event to `handler` together with the engine so it can
+/// schedule follow-ups.
+///
+/// ```
+/// use kooza_sim::{run, Engine, SimDuration};
+///
+/// let mut eng = Engine::new();
+/// eng.schedule(SimDuration::from_nanos(1), 3u32);
+/// let mut total = 0;
+/// run(&mut eng, |eng, _t, n| {
+///     total += n;
+///     if n > 1 {
+///         eng.schedule(SimDuration::from_nanos(1), n - 1);
+///     }
+/// });
+/// assert_eq!(total, 3 + 2 + 1);
+/// ```
+pub fn run<E, F>(engine: &mut Engine<E>, mut handler: F)
+where
+    F: FnMut(&mut Engine<E>, SimTime, E),
+{
+    while let Some((t, ev)) = engine.next() {
+        handler(engine, t, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(30), 'c');
+        eng.schedule_at(SimTime::from_nanos(10), 'a');
+        eng.schedule_at(SimTime::from_nanos(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| eng.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut eng = Engine::new();
+        for i in 0..100 {
+            eng.schedule_at(SimTime::from_nanos(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| eng.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut eng = Engine::new();
+        eng.schedule(SimDuration::from_nanos(5), ());
+        eng.schedule(SimDuration::from_nanos(3), ());
+        let (t1, _) = eng.next().unwrap();
+        assert_eq!(t1, SimTime::from_nanos(3));
+        assert_eq!(eng.now(), t1);
+        let (t2, _) = eng.next().unwrap();
+        assert_eq!(t2, SimTime::from_nanos(5));
+        assert_eq!(eng.processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_past_panics() {
+        let mut eng = Engine::new();
+        eng.schedule(SimDuration::from_nanos(10), ());
+        let _ = eng.next();
+        eng.schedule_at(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn run_drains_and_allows_rescheduling() {
+        let mut eng = Engine::new();
+        eng.schedule(SimDuration::from_nanos(1), 5u32);
+        let mut seen = Vec::new();
+        run(&mut eng, |eng, _t, n| {
+            seen.push(n);
+            if n > 0 {
+                eng.schedule(SimDuration::from_nanos(1), n - 1);
+            }
+        });
+        assert_eq!(seen, vec![5, 4, 3, 2, 1, 0]);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let mut eng = Engine::new();
+        assert_eq!(eng.peek_time(), None);
+        eng.schedule(SimDuration::from_nanos(7), ());
+        assert_eq!(eng.peek_time(), Some(SimTime::from_nanos(7)));
+        eng.clear();
+        assert!(eng.next().is_none());
+    }
+
+    #[test]
+    fn zero_delay_event_fires_at_now() {
+        let mut eng = Engine::new();
+        eng.schedule(SimDuration::from_nanos(4), "first");
+        let _ = eng.next();
+        eng.schedule(SimDuration::ZERO, "second");
+        let (t, e) = eng.next().unwrap();
+        assert_eq!(t, SimTime::from_nanos(4));
+        assert_eq!(e, "second");
+    }
+}

@@ -1,0 +1,208 @@
+//! A multi-server FIFO station for event-driven queueing models.
+//!
+//! [`ServerPool`] tracks which of `c` identical servers are busy and queues
+//! excess jobs in FIFO order. It does *not* schedule anything itself — the
+//! owning model schedules the completion event for each job it is handed —
+//! which keeps the pool usable with any event type.
+
+use std::collections::VecDeque;
+
+use crate::collect::TimeWeighted;
+use crate::time::{SimDuration, SimTime};
+
+/// A `c`-server FIFO queueing station.
+///
+/// ```
+/// use kooza_sim::{ServerPool, SimTime};
+///
+/// let mut pool: ServerPool<&str> = ServerPool::new(1);
+/// let t0 = SimTime::ZERO;
+/// // First job starts immediately.
+/// assert_eq!(pool.arrive(t0, "a"), Some("a"));
+/// // Second queues behind it.
+/// assert_eq!(pool.arrive(t0, "b"), None);
+/// // When "a" completes, "b" is released to start.
+/// let t1 = SimTime::from_micros(10);
+/// assert_eq!(pool.complete(t1), Some("b"));
+/// assert_eq!(pool.complete(SimTime::from_micros(20)), None);
+/// ```
+#[derive(Debug)]
+pub struct ServerPool<J> {
+    servers: usize,
+    busy: usize,
+    queue: VecDeque<(SimTime, J)>,
+    busy_servers: TimeWeighted,
+    queue_len: TimeWeighted,
+    total_wait: SimDuration,
+    started: u64,
+    arrived: u64,
+}
+
+impl<J> ServerPool<J> {
+    /// Creates a station with `servers` identical servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "a station needs at least one server");
+        ServerPool {
+            servers,
+            busy: 0,
+            queue: VecDeque::new(),
+            busy_servers: TimeWeighted::new(),
+            queue_len: TimeWeighted::new(),
+            total_wait: SimDuration::ZERO,
+            started: 0,
+            arrived: 0,
+        }
+    }
+
+    /// A job arrives at time `now`.
+    ///
+    /// Returns `Some(job)` if a server was free and the job should start
+    /// service immediately (the caller schedules its completion); `None` if
+    /// it was queued.
+    pub fn arrive(&mut self, now: SimTime, job: J) -> Option<J> {
+        self.arrived += 1;
+        if self.busy < self.servers {
+            self.busy += 1;
+            self.started += 1;
+            self.busy_servers.record(now, self.busy as f64);
+            Some(job)
+        } else {
+            self.queue.push_back((now, job));
+            self.queue_len.record(now, self.queue.len() as f64);
+            None
+        }
+    }
+
+    /// A service completes at time `now`.
+    ///
+    /// Returns `Some(job)` if a queued job should now start service (the
+    /// caller schedules its completion); `None` if the queue was empty and a
+    /// server simply went idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no server was busy (a completion without a start).
+    pub fn complete(&mut self, now: SimTime) -> Option<J> {
+        assert!(self.busy > 0, "completion with no busy server");
+        match self.queue.pop_front() {
+            Some((enqueued, job)) => {
+                self.total_wait += now.saturating_since(enqueued);
+                self.started += 1;
+                self.queue_len.record(now, self.queue.len() as f64);
+                // busy count unchanged: one ends, one starts.
+                Some(job)
+            }
+            None => {
+                self.busy -= 1;
+                self.busy_servers.record(now, self.busy as f64);
+                None
+            }
+        }
+    }
+
+    /// Number of servers currently serving a job.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Number of jobs waiting in queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total jobs that have arrived.
+    pub fn arrivals(&self) -> u64 {
+        self.arrived
+    }
+
+    /// Time-averaged server utilization in `[0, 1]`, measured up to `now`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.busy_servers.mean_until(now, self.busy as f64) / self.servers as f64
+    }
+
+    /// Time-averaged queue length, measured up to `now`.
+    pub fn mean_queue_len(&self, now: SimTime) -> f64 {
+        self.queue_len.mean_until(now, self.queue.len() as f64)
+    }
+
+    /// Mean waiting time (time in queue, excluding service) over all jobs
+    /// that have *started* service.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.started == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_wait / self.started
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_fifo_order() {
+        let mut pool = ServerPool::new(1);
+        let t = SimTime::ZERO;
+        assert_eq!(pool.arrive(t, 1), Some(1));
+        assert_eq!(pool.arrive(t, 2), None);
+        assert_eq!(pool.arrive(t, 3), None);
+        assert_eq!(pool.queued(), 2);
+        assert_eq!(pool.complete(SimTime::from_nanos(10)), Some(2));
+        assert_eq!(pool.complete(SimTime::from_nanos(20)), Some(3));
+        assert_eq!(pool.complete(SimTime::from_nanos(30)), None);
+        assert_eq!(pool.busy(), 0);
+    }
+
+    #[test]
+    fn multi_server_parallelism() {
+        let mut pool = ServerPool::new(3);
+        let t = SimTime::ZERO;
+        assert!(pool.arrive(t, 'a').is_some());
+        assert!(pool.arrive(t, 'b').is_some());
+        assert!(pool.arrive(t, 'c').is_some());
+        assert!(pool.arrive(t, 'd').is_none());
+        assert_eq!(pool.busy(), 3);
+        assert_eq!(pool.complete(SimTime::from_nanos(5)), Some('d'));
+        assert_eq!(pool.busy(), 3);
+    }
+
+    #[test]
+    fn wait_time_accounting() {
+        let mut pool = ServerPool::new(1);
+        assert!(pool.arrive(SimTime::ZERO, ()).is_some());
+        assert!(pool.arrive(SimTime::from_nanos(2), ()).is_none());
+        // Job 2 waited from t=2 to t=10.
+        assert_eq!(pool.complete(SimTime::from_nanos(10)), Some(()));
+        assert_eq!(pool.complete(SimTime::from_nanos(20)), None);
+        // Two jobs started; total wait 8ns → mean 4ns.
+        assert_eq!(pool.mean_wait(), SimDuration::from_nanos(4));
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut pool = ServerPool::new(2);
+        assert!(pool.arrive(SimTime::ZERO, ()).is_some());
+        // One of two servers busy from t=0 to t=100.
+        let now = SimTime::from_nanos(100);
+        let u = pool.utilization(now);
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no busy server")]
+    fn completion_without_start_panics() {
+        let mut pool: ServerPool<()> = ServerPool::new(1);
+        pool.complete(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _: ServerPool<()> = ServerPool::new(0);
+    }
+}

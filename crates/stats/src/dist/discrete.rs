@@ -1,0 +1,326 @@
+//! Discrete distributions: Poisson (request counts), Zipf (object
+//! popularity — the skew behind hot/cold data in Search-style workloads)
+//! and geometric (retry/burst lengths).
+
+use kooza_sim::rng::Rng64;
+
+use super::{require_positive, DiscreteDistribution};
+use crate::special::ln_gamma;
+use crate::{Result, StatsError};
+
+/// Poisson distribution with mean `λ`.
+///
+/// ```
+/// use kooza_stats::dist::{DiscreteDistribution, Poisson};
+/// let d = Poisson::new(4.0)?;
+/// assert!((d.mean() - 4.0).abs() < 1e-12);
+/// assert!(d.pmf(4) > d.pmf(10));
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `lambda` is finite
+    /// and positive.
+    pub fn new(lambda: f64) -> Result<Self> {
+        require_positive("lambda", lambda)?;
+        Ok(Poisson { lambda })
+    }
+
+    /// The rate/mean parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl DiscreteDistribution for Poisson {
+    fn pmf(&self, k: u64) -> f64 {
+        (k as f64 * self.lambda.ln() - self.lambda - ln_gamma(k as f64 + 1.0)).exp()
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        (0..=k).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+
+    fn sample(&self, rng: &mut Rng64) -> u64 {
+        if self.lambda < 30.0 {
+            // Knuth's product method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.next_f64_open();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction, adequate for
+            // the large-λ counts used in workload generation.
+            let z = crate::special::normal_quantile(rng.next_f64_open().min(1.0 - 1e-12));
+            let x = self.lambda + self.lambda.sqrt() * z;
+            x.round().max(0.0) as u64
+        }
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s > 0`.
+///
+/// Rank `k` has probability proportional to `k^-s`. Used for object and
+/// chunk popularity in the GFS workload generators.
+///
+/// ```
+/// use kooza_stats::dist::{DiscreteDistribution, Zipf};
+/// let d = Zipf::new(100, 1.0)?;
+/// assert!(d.pmf(1) > d.pmf(2));
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// Cumulative weights for inversion sampling.
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `n == 0` or `s` is not
+    /// finite and positive.
+    pub fn new(n: u64, s: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(StatsError::InvalidParameter { name: "n", value: 0.0 });
+        }
+        require_positive("s", s)?;
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Ok(Zipf { n, s, cumulative })
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+}
+
+impl DiscreteDistribution for Zipf {
+    fn pmf(&self, k: u64) -> f64 {
+        if k == 0 || k > self.n {
+            return 0.0;
+        }
+        let prev = if k == 1 { 0.0 } else { self.cumulative[k as usize - 2] };
+        self.cumulative[k as usize - 1] - prev
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        if k == 0 {
+            0.0
+        } else if k >= self.n {
+            1.0
+        } else {
+            self.cumulative[k as usize - 1]
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (1..=self.n).map(|k| k as f64 * self.pmf(k)).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "zipf"
+    }
+
+    /// Binary-search inversion over the precomputed cdf. Returns a rank in
+    /// `1..=n`.
+    fn sample(&self, rng: &mut Rng64) -> u64 {
+        let u = rng.next_f64();
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        (idx as u64 + 1).min(self.n)
+    }
+}
+
+/// Geometric distribution on `{0, 1, 2, ...}` with success probability `p`.
+///
+/// Models the number of failures before a success — burst lengths, retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with success probability `p ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `p` is outside `(0, 1]`.
+    pub fn new(p: f64) -> Result<Self> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(StatsError::InvalidParameter { name: "p", value: p });
+        }
+        Ok(Geometric { p })
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl DiscreteDistribution for Geometric {
+    fn pmf(&self, k: u64) -> f64 {
+        (1.0 - self.p).powf(k as f64) * self.p
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        1.0 - (1.0 - self.p).powf(k as f64 + 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        (1.0 - self.p) / self.p
+    }
+
+    fn name(&self) -> &'static str {
+        "geometric"
+    }
+
+    fn sample(&self, rng: &mut Rng64) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        let u = rng.next_f64_open();
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_pmf_sums_to_one() {
+        let d = Poisson::new(3.0).unwrap();
+        let total: f64 = (0..100).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn poisson_known_pmf() {
+        let d = Poisson::new(2.0).unwrap();
+        // P(X = 0) = e^-2
+        assert!((d.pmf(0) - (-2f64).exp()).abs() < 1e-12);
+        // P(X = 2) = 2 e^-2
+        assert!((d.pmf(2) - 2.0 * (-2f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_sample_mean_small_lambda() {
+        let d = Poisson::new(5.0).unwrap();
+        let mut rng = Rng64::new(66);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_sample_mean_large_lambda() {
+        let d = Poisson::new(200.0).unwrap();
+        let mut rng = Rng64::new(67);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_pmf_monotone_and_normalized() {
+        let d = Zipf::new(50, 1.2).unwrap();
+        let total: f64 = (1..=50).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        for k in 1..50 {
+            assert!(d.pmf(k) > d.pmf(k + 1));
+        }
+        assert_eq!(d.pmf(0), 0.0);
+        assert_eq!(d.pmf(51), 0.0);
+    }
+
+    #[test]
+    fn zipf_samples_in_range_and_skewed() {
+        let d = Zipf::new(10, 1.0).unwrap();
+        let mut rng = Rng64::new(68);
+        let mut counts = [0u32; 11];
+        for _ in 0..20_000 {
+            let k = d.sample(&mut rng);
+            assert!((1..=10).contains(&k));
+            counts[k as usize] += 1;
+        }
+        assert!(counts[1] > counts[5]);
+        assert!(counts[1] > 2 * counts[10]);
+    }
+
+    #[test]
+    fn zipf_cdf_endpoints() {
+        let d = Zipf::new(5, 0.8).unwrap();
+        assert_eq!(d.cdf(0), 0.0);
+        assert!((d.cdf(5) - 1.0).abs() < 1e-12);
+        assert!((d.cdf(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_and_samples() {
+        let d = Geometric::new(0.25).unwrap();
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+        let mut rng = Rng64::new(69);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_always_zero() {
+        let d = Geometric::new(1.0).unwrap();
+        let mut rng = Rng64::new(70);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(1.5).is_err());
+    }
+}

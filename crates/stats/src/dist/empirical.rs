@@ -1,0 +1,184 @@
+//! The empirical distribution — trace-driven resampling. This is what a
+//! model *degenerates to* when no parametric family fits: SQS (Meisner et
+//! al.) builds its online workload models exactly this way.
+
+use kooza_sim::rng::Rng64;
+
+use super::{assert_probability, Distribution};
+use crate::{ensure_finite, ensure_len, Result};
+
+/// Empirical distribution built from a sample (the ECDF).
+///
+/// `cdf` is the step ECDF; `quantile` is the inverse ECDF (type-1 quantile);
+/// `sample` draws uniformly from the stored observations.
+///
+/// ```
+/// use kooza_stats::dist::{Distribution, Empirical};
+/// let d = Empirical::from_sample(&[1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(d.cdf(2.0), 0.5);
+/// assert_eq!(d.quantile(0.5), 2.0);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    sorted: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl Empirical {
+    /// Builds the empirical distribution of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `data` is empty or contains non-finite values.
+    pub fn from_sample(data: &[f64]) -> Result<Self> {
+        ensure_len(data, 1)?;
+        ensure_finite(data)?;
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let variance = if sorted.len() < 2 {
+            0.0
+        } else {
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        };
+        Ok(Empirical { sorted, mean, variance })
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted observations.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl Distribution for Empirical {
+    /// The ECDF has no density; this returns a histogram-style estimate
+    /// using 1 + log₂(n) bins (Sturges), adequate for likelihood ranking.
+    fn pdf(&self, x: f64) -> f64 {
+        let n = self.sorted.len();
+        let lo = self.sorted[0];
+        let hi = self.sorted[n - 1];
+        if x < lo || x > hi {
+            return 0.0;
+        }
+        if hi == lo {
+            return f64::INFINITY;
+        }
+        let bins = (1.0 + (n as f64).log2()).ceil() as usize;
+        let width = (hi - lo) / bins as f64;
+        let idx = (((x - lo) / width) as usize).min(bins - 1);
+        let (a, b) = (lo + idx as f64 * width, lo + (idx + 1) as f64 * width);
+        let count = self
+            .sorted
+            .iter()
+            .filter(|&&v| v >= a && (v < b || (idx == bins - 1 && v <= b)))
+            .count();
+        count as f64 / (n as f64 * width)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        // Count of observations <= x, via partition point.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        let n = self.sorted.len();
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[idx - 1]
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    fn name(&self) -> &'static str {
+        "empirical"
+    }
+
+    /// Resamples uniformly from the observations (bootstrap draw).
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        *rng.choose(&self.sorted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Empirical::from_sample(&[]).is_err());
+        assert!(Empirical::from_sample(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn ecdf_steps() {
+        let d = Empirical::from_sample(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert!((d.cdf(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d.cdf(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics() {
+        let d = Empirical::from_sample(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(d.quantile(0.0), 10.0);
+        assert_eq!(d.quantile(0.25), 10.0);
+        assert_eq!(d.quantile(0.5), 20.0);
+        assert_eq!(d.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn moments_match_sample() {
+        let d = Empirical::from_sample(&[2.0, 4.0, 6.0]).unwrap();
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert!((d.variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_come_from_data() {
+        let data = [1.0, 5.0, 9.0];
+        let d = Empirical::from_sample(&data).unwrap();
+        let mut rng = Rng64::new(3);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            assert!(data.contains(&x));
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_roughly_to_one() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 / 100.0).collect();
+        let d = Empirical::from_sample(&data).unwrap();
+        let mut integral = 0.0;
+        let steps = 2000;
+        let (lo, hi) = (0.0, 9.99);
+        for i in 0..steps {
+            let x = lo + (hi - lo) * (i as f64 + 0.5) / steps as f64;
+            integral += d.pdf(x) * (hi - lo) / steps as f64;
+        }
+        assert!((integral - 1.0).abs() < 0.05, "integral {integral}");
+    }
+}

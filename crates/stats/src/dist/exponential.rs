@@ -1,0 +1,171 @@
+//! The exponential distribution — the memoryless inter-arrival model behind
+//! Poisson request arrivals, and the baseline the network-modeling papers
+//! (Feitelson, Sengupta) show real DC traffic *diverging from*.
+
+use kooza_sim::rng::Rng64;
+
+use super::{assert_probability, require_positive, Distribution};
+use crate::Result;
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+///
+/// ```
+/// use kooza_stats::dist::{Distribution, Exponential};
+/// let d = Exponential::new(2.0)?;
+/// assert!((d.mean() - 0.5).abs() < 1e-12);
+/// assert!((d.cdf(d.quantile(0.3)) - 0.3).abs() < 1e-12);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `rate` (> 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StatsError::InvalidParameter`] unless `rate` is
+    /// finite and positive.
+    pub fn new(rate: f64) -> Result<Self> {
+        require_positive("rate", rate)?;
+        Ok(Exponential { rate })
+    }
+
+    /// Creates the exponential distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StatsError::InvalidParameter`] unless `mean` is
+    /// finite and positive.
+    pub fn with_mean(mean: f64) -> Result<Self> {
+        require_positive("mean", mean)?;
+        Exponential::new(1.0 / mean)
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        // -ln(1-p)/λ; at p=1 the support is unbounded.
+        -(1.0 - p).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        // next_f64_open avoids ln(0).
+        -rng.next_f64_open().ln() / self.rate
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn with_mean_matches() {
+        let d = Exponential::with_mean(4.0).unwrap();
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert!((d.rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_cdf_known_values() {
+        let d = Exponential::new(1.0).unwrap();
+        assert!((d.pdf(0.0) - 1.0).abs() < 1e-12);
+        assert!((d.cdf(1.0) - (1.0 - (-1f64).exp())).abs() < 1e-12);
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Exponential::new(3.0).unwrap();
+        for p in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+        assert_eq!(d.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let d = Exponential::new(0.5).unwrap();
+        let mut rng = Rng64::new(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn memorylessness_via_cdf() {
+        // P(X > s + t | X > s) == P(X > t)
+        let d = Exponential::new(1.3).unwrap();
+        let (s, t) = (0.7, 1.1);
+        let cond = (1.0 - d.cdf(s + t)) / (1.0 - d.cdf(s));
+        assert!((cond - (1.0 - d.cdf(t))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_pdf_matches_pdf() {
+        let d = Exponential::new(2.5).unwrap();
+        for x in [0.0, 0.5, 2.0] {
+            assert!((d.log_pdf(x) - d.pdf(x).ln()).abs() < 1e-12);
+        }
+        assert_eq!(d.log_pdf(-0.1), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        Exponential::new(1.0).unwrap().quantile(1.5);
+    }
+}

@@ -1,0 +1,230 @@
+//! The gamma distribution — sums of exponential service stages; used for
+//! aggregate service-time modeling in queueing studies.
+
+use kooza_sim::rng::Rng64;
+
+use super::{assert_probability, require_positive, Distribution};
+use crate::special::{gamma_p, ln_gamma};
+use crate::Result;
+
+/// Gamma distribution with shape `k > 0` and scale `θ > 0`.
+///
+/// ```
+/// use kooza_stats::dist::{Distribution, Gamma};
+/// let d = Gamma::new(3.0, 2.0)?;
+/// assert_eq!(d.mean(), 6.0);
+/// assert_eq!(d.variance(), 12.0);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution with the given shape and scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StatsError::InvalidParameter`] unless both are
+    /// finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        require_positive("shape", shape)?;
+        require_positive("scale", scale)?;
+        Ok(Gamma { shape, scale })
+    }
+
+    /// Shape parameter k.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter θ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Distribution for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            return if self.shape > 1.0 {
+                0.0
+            } else if (self.shape - 1.0).abs() < 1e-12 {
+                1.0 / self.scale
+            } else {
+                f64::INFINITY
+            };
+        }
+        self.log_pdf(x).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, x / self.scale)
+        }
+    }
+
+    /// Numeric inverse cdf via bracketed bisection refined with Newton steps.
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        if p == 0.0 {
+            return 0.0;
+        }
+        assert!(p < 1.0, "gamma quantile undefined at p = 1");
+        // Wilson–Hilferty starting point.
+        let k = self.shape;
+        let z = crate::special::normal_quantile(p);
+        let c = 1.0 - 1.0 / (9.0 * k) + z / (3.0 * k.sqrt());
+        let mut x = (k * c * c * c).max(1e-12) * self.scale;
+        // Bracket then bisect/Newton against the cdf.
+        let (mut lo, mut hi) = (0.0_f64, x.max(self.scale));
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if hi > 1e300 {
+                break;
+            }
+        }
+        if x <= lo || x >= hi {
+            x = 0.5 * (lo + hi);
+        }
+        for _ in 0..200 {
+            let f = self.cdf(x) - p;
+            if f.abs() < 1e-13 {
+                break;
+            }
+            if f > 0.0 {
+                hi = x;
+            } else {
+                lo = x;
+            }
+            let d = self.pdf(x);
+            let newton = if d > 0.0 { x - f / d } else { f64::NAN };
+            x = if newton.is_finite() && newton > lo && newton < hi {
+                newton
+            } else {
+                0.5 * (lo + hi)
+            };
+        }
+        x
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn name(&self) -> &'static str {
+        "gamma"
+    }
+
+    /// Marsaglia–Tsang squeeze method (faster and more accurate than the
+    /// numeric quantile for sampling).
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        fn sample_standard(shape: f64, rng: &mut Rng64) -> f64 {
+            if shape < 1.0 {
+                // Boost: X ~ Gamma(shape+1) * U^(1/shape).
+                let x = sample_standard(shape + 1.0, rng);
+                return x * rng.next_f64_open().powf(1.0 / shape);
+            }
+            let d = shape - 1.0 / 3.0;
+            let c = 1.0 / (9.0 * d).sqrt();
+            loop {
+                // Standard normal via Box–Muller (independent of quantile path).
+                let u1 = rng.next_f64_open();
+                let u2 = rng.next_f64();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let v = 1.0 + c * z;
+                if v <= 0.0 {
+                    continue;
+                }
+                let v3 = v * v * v;
+                let u = rng.next_f64_open();
+                if u < 1.0 - 0.0331 * z.powi(4) {
+                    return d * v3;
+                }
+                if u.ln() < 0.5 * z * z + d * (1.0 - v3 + v3.ln()) {
+                    return d * v3;
+                }
+            }
+        }
+        sample_standard(self.shape, rng) * self.scale
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let (k, t) = (self.shape, self.scale);
+        (k - 1.0) * x.ln() - x / t - ln_gamma(k) - k * t.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_one_is_exponential() {
+        use crate::dist::Exponential;
+        let g = Gamma::new(1.0, 2.0).unwrap();
+        let e = Exponential::with_mean(2.0).unwrap();
+        for x in [0.1, 1.0, 5.0] {
+            assert!((g.cdf(x) - e.cdf(x)).abs() < 1e-10, "cdf({x})");
+            assert!((g.pdf(x) - e.pdf(x)).abs() < 1e-10, "pdf({x})");
+        }
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let d = Gamma::new(2.5, 1.3).unwrap();
+        for p in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-9, "p={p} x={x} cdf={}", d.cdf(x));
+        }
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let d = Gamma::new(4.0, 0.5).unwrap();
+        let mut rng = Rng64::new(55);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sampling_small_shape() {
+        let d = Gamma::new(0.3, 1.0).unwrap();
+        let mut rng = Rng64::new(56);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.3).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn log_pdf_consistency() {
+        let d = Gamma::new(3.0, 2.0).unwrap();
+        for x in [0.5, 2.0, 10.0] {
+            assert!((d.log_pdf(x) - d.pdf(x).ln()).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Probability distributions with analytic pdf/cdf/quantile and
+//! reproducible sampling.
+//!
+//! Continuous families implement [`Distribution`]; discrete families
+//! implement [`DiscreteDistribution`]. Sampling defaults to inversion
+//! (one uniform draw per sample), which keeps simulated experiments
+//! reproducible under common random numbers.
+//!
+//! The families here are exactly the ones the workload-modeling literature
+//! reaches for: exponential (Poisson arrivals), Pareto (heavy tails, flow
+//! sizes), lognormal (service times, file sizes), Weibull (failure and
+//! inter-arrival times), normal and uniform (baselines), gamma (aggregated
+//! service stages), Zipf (popularity), Poisson/geometric (counts), and the
+//! empirical distribution (trace-driven resampling).
+
+mod discrete;
+mod empirical;
+mod exponential;
+mod gamma;
+mod normal;
+mod pareto;
+mod uniform;
+mod weibull;
+
+pub use discrete::{Geometric, Poisson, Zipf};
+pub use empirical::Empirical;
+pub use exponential::Exponential;
+pub use gamma::Gamma;
+pub use normal::{LogNormal, Normal};
+pub use pareto::Pareto;
+pub use uniform::Uniform;
+pub use weibull::Weibull;
+
+use kooza_sim::rng::Rng64;
+
+/// A continuous univariate distribution.
+///
+/// Implementations must be internally consistent: `cdf(quantile(p)) == p`
+/// (up to floating-point error) and `sample` must follow the cdf. The
+/// property-based test suite checks both for every family in this module.
+pub trait Distribution: std::fmt::Debug {
+    /// Probability density at `x` (0 outside the support).
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative probability `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Inverse cdf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` (implementations may also panic at
+    /// the endpoints when the support is unbounded).
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Distribution mean (may be infinite, e.g. Pareto with α ≤ 1).
+    fn mean(&self) -> f64;
+
+    /// Distribution variance (may be infinite).
+    fn variance(&self) -> f64;
+
+    /// Short lowercase family name (`"exponential"`, `"pareto"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Draws one sample. Default: inversion through [`quantile`].
+    ///
+    /// [`quantile`]: Distribution::quantile
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        self.quantile(rng.next_f64_open())
+    }
+
+    /// Log-density at `x`; `-inf` outside the support.
+    fn log_pdf(&self, x: f64) -> f64 {
+        self.pdf(x).ln()
+    }
+
+    /// Mean log-likelihood of a sample under this distribution.
+    fn mean_log_likelihood(&self, data: &[f64]) -> f64 {
+        if data.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        data.iter().map(|&x| self.log_pdf(x)).sum::<f64>() / data.len() as f64
+    }
+}
+
+/// A discrete distribution over non-negative integers.
+pub trait DiscreteDistribution: std::fmt::Debug {
+    /// Probability mass at `k`.
+    fn pmf(&self, k: u64) -> f64;
+
+    /// Cumulative probability `P(X <= k)`.
+    fn cdf(&self, k: u64) -> f64;
+
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+
+    /// Short lowercase family name.
+    fn name(&self) -> &'static str;
+
+    /// Draws one sample.
+    fn sample(&self, rng: &mut Rng64) -> u64;
+}
+
+/// Checks a candidate parameter is strictly positive and finite.
+pub(crate) fn require_positive(name: &'static str, value: f64) -> crate::Result<()> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(crate::StatsError::InvalidParameter { name, value })
+    }
+}
+
+/// Panics unless `p` is a probability in `[0, 1]`. Shared by quantiles.
+pub(crate) fn assert_probability(p: f64) {
+    assert!((0.0..=1.0).contains(&p), "quantile requires p in [0,1], got {p}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Common-random-number check: inversion sampling means equal seeds give
+    /// equal sample paths across families with the same draw count.
+    #[test]
+    fn inversion_sampling_is_reproducible() {
+        let e = Exponential::new(2.0).unwrap();
+        let mut r1 = Rng64::new(5);
+        let mut r2 = Rng64::new(5);
+        let a: Vec<f64> = (0..10).map(|_| e.sample(&mut r1)).collect();
+        let b: Vec<f64> = (0..10).map(|_| e.sample(&mut r2)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_log_likelihood_prefers_true_model() {
+        let true_d = Exponential::new(1.0).unwrap();
+        let wrong_d = Exponential::new(10.0).unwrap();
+        let mut rng = Rng64::new(7);
+        let data: Vec<f64> = (0..500).map(|_| true_d.sample(&mut rng)).collect();
+        assert!(true_d.mean_log_likelihood(&data) > wrong_d.mean_log_likelihood(&data));
+    }
+
+    #[test]
+    fn mean_log_likelihood_empty_is_neg_inf() {
+        let d = Exponential::new(1.0).unwrap();
+        assert_eq!(d.mean_log_likelihood(&[]), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,262 @@
+//! Normal and log-normal distributions. Log-normal is the workhorse for DC
+//! service times and object sizes (moderate tails); normal backs CPU
+//! utilization noise and the Gaussian emissions of HMMs.
+
+
+use super::{assert_probability, require_positive, Distribution};
+use crate::special::{normal_cdf, normal_pdf, normal_quantile};
+use crate::{Result, StatsError};
+
+/// Normal distribution `N(μ, σ²)`.
+///
+/// ```
+/// use kooza_stats::dist::{Distribution, Normal};
+/// let d = Normal::new(10.0, 2.0)?;
+/// assert!((d.cdf(10.0) - 0.5).abs() < 1e-12);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates `N(mu, sigma²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `sigma` is finite and
+    /// positive and `mu` is finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter { name: "mu", value: mu });
+        }
+        require_positive("sigma", sigma)?;
+        Ok(Normal { mu, sigma })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Location parameter μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        normal_pdf((x - self.mu) / self.sigma) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        assert!(p > 0.0 && p < 1.0, "normal quantile undefined at p = {p}");
+        self.mu + self.sigma * normal_quantile(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    fn name(&self) -> &'static str {
+        "normal"
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        -0.5 * z * z - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+}
+
+/// Log-normal distribution: `ln X ~ N(μ, σ²)`.
+///
+/// ```
+/// use kooza_stats::dist::{Distribution, LogNormal};
+/// let d = LogNormal::new(0.0, 1.0)?;
+/// // Median of a lognormal is e^μ.
+/// assert!((d.quantile(0.5) - 1.0).abs() < 1e-9);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal whose logarithm is `N(mu, sigma²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `sigma` is finite and
+    /// positive and `mu` is finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter { name: "mu", value: mu });
+        }
+        require_positive("sigma", sigma)?;
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Log-space location μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-space scale σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        normal_pdf(z) / (x * self.sigma)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        if p == 0.0 {
+            return 0.0;
+        }
+        assert!(p < 1.0, "lognormal quantile undefined at p = 1");
+        (self.mu + self.sigma * normal_quantile(p)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "lognormal"
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        -0.5 * z * z - x.ln() - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kooza_sim::rng::Rng64;
+
+    #[test]
+    fn normal_basic_properties() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        assert_eq!(d.mean(), 5.0);
+        assert_eq!(d.variance(), 4.0);
+        assert!((d.cdf(5.0) - 0.5).abs() < 1e-12);
+        assert!((d.cdf(7.0) - 0.841_344_746).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_quantile_round_trip() {
+        let d = Normal::new(-2.0, 0.5).unwrap();
+        for p in [0.01, 0.2, 0.5, 0.8, 0.99] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normal_sampling_moments() {
+        let d = Normal::new(3.0, 1.5).unwrap();
+        let mut rng = Rng64::new(21);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 2.25).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_support_is_positive() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.pdf(0.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert!(d.pdf(1.0) > 0.0);
+    }
+
+    #[test]
+    fn lognormal_mean_variance_formulas() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = Rng64::new(22);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() / d.mean() < 0.02, "mean {mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn lognormal_quantile_round_trip() {
+        let d = LogNormal::new(2.0, 0.3).unwrap();
+        for p in [0.05, 0.5, 0.95] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-9);
+        }
+        assert_eq!(d.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_log_pdf_consistency() {
+        let d = Normal::new(1.0, 2.0).unwrap();
+        for x in [-3.0, 0.0, 1.0, 4.0] {
+            assert!((d.log_pdf(x) - d.pdf(x).ln()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lognormal_log_pdf_consistency() {
+        let d = LogNormal::new(0.5, 0.8).unwrap();
+        for x in [0.1, 1.0, 5.0] {
+            assert!((d.log_pdf(x) - d.pdf(x).ln()).abs() < 1e-10);
+        }
+        assert_eq!(d.log_pdf(0.0), f64::NEG_INFINITY);
+    }
+}

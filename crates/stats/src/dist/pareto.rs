@@ -1,0 +1,167 @@
+//! The Pareto distribution — the canonical heavy-tail model for DC request
+//! sizes, flow durations and on-periods of self-similar traffic sources.
+
+use super::{assert_probability, require_positive, Distribution};
+use crate::Result;
+
+/// Pareto (type I) distribution with scale `x_m > 0` and shape `α > 0`.
+///
+/// Heavy-tailed: the mean is infinite for `α ≤ 1` and the variance for
+/// `α ≤ 2` — exactly the regime used to build self-similar traffic.
+///
+/// ```
+/// use kooza_stats::dist::{Distribution, Pareto};
+/// let d = Pareto::new(1.0, 2.5)?;
+/// assert_eq!(d.cdf(0.5), 0.0); // below the scale
+/// assert!((d.mean() - 2.5 / 1.5).abs() < 1e-12);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with scale (minimum) `xm` and shape
+    /// `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StatsError::InvalidParameter`] unless both are
+    /// finite and positive.
+    pub fn new(xm: f64, alpha: f64) -> Result<Self> {
+        require_positive("xm", xm)?;
+        require_positive("alpha", alpha)?;
+        Ok(Pareto { xm, alpha })
+    }
+
+    /// Scale (minimum) parameter.
+    pub fn xm(&self) -> f64 {
+        self.xm
+    }
+
+    /// Shape (tail index) parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Distribution for Pareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.xm {
+            0.0
+        } else {
+            self.alpha * self.xm.powf(self.alpha) / x.powf(self.alpha + 1.0)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.xm {
+            0.0
+        } else {
+            1.0 - (self.xm / x).powf(self.alpha)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        assert!(p < 1.0, "pareto quantile undefined at p = 1");
+        self.xm / (1.0 - p).powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.alpha <= 2.0 {
+            f64::INFINITY
+        } else {
+            let a = self.alpha;
+            self.xm * self.xm * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pareto"
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        if x < self.xm {
+            f64::NEG_INFINITY
+        } else {
+            self.alpha.ln() + self.alpha * self.xm.ln() - (self.alpha + 1.0) * x.ln()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kooza_sim::rng::Rng64;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(-1.0, 2.0).is_err());
+    }
+
+    #[test]
+    fn support_starts_at_xm() {
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        assert_eq!(d.pdf(1.9), 0.0);
+        assert_eq!(d.cdf(1.9), 0.0);
+        assert!(d.pdf(2.0) > 0.0);
+        assert_eq!(d.quantile(0.0), 2.0);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let d = Pareto::new(1.0, 1.5).unwrap();
+        for p in [0.0, 0.3, 0.6, 0.99] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heavy_tail_moments() {
+        assert_eq!(Pareto::new(1.0, 0.8).unwrap().mean(), f64::INFINITY);
+        assert_eq!(Pareto::new(1.0, 1.5).unwrap().variance(), f64::INFINITY);
+        let d = Pareto::new(1.0, 3.0).unwrap();
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        assert!((d.variance() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_mean_converges_when_finite() {
+        let d = Pareto::new(1.0, 4.0).unwrap();
+        let mut rng = Rng64::new(33);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() < 0.02, "mean {mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn tail_is_heavier_than_exponential() {
+        // Survival at x = 50 for matched means.
+        use crate::dist::Exponential;
+        let p = Pareto::new(1.0, 3.0).unwrap(); // mean 1.5
+        let e = Exponential::with_mean(1.5).unwrap();
+        assert!(1.0 - p.cdf(50.0) > 1.0 - e.cdf(50.0));
+    }
+
+    #[test]
+    fn log_pdf_consistency() {
+        let d = Pareto::new(2.0, 2.0).unwrap();
+        for x in [2.0, 3.0, 10.0] {
+            assert!((d.log_pdf(x) - d.pdf(x).ln()).abs() < 1e-10);
+        }
+        assert_eq!(d.log_pdf(1.0), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,135 @@
+//! The continuous uniform distribution — the null model in fitting
+//! pipelines and the source for randomized placement decisions.
+
+use super::{assert_probability, Distribution};
+use crate::{Result, StatsError};
+
+/// Uniform distribution on `[lo, hi)`.
+///
+/// ```
+/// use kooza_stats::dist::{Distribution, Uniform};
+/// let d = Uniform::new(2.0, 6.0)?;
+/// assert_eq!(d.mean(), 4.0);
+/// assert_eq!(d.quantile(0.25), 3.0);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both bounds are
+    /// finite and `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() {
+            return Err(StatsError::InvalidParameter { name: "lo", value: lo });
+        }
+        if !hi.is_finite() || hi <= lo {
+            return Err(StatsError::InvalidParameter { name: "hi", value: hi });
+        }
+        Ok(Uniform { lo, hi })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.lo && x < self.hi {
+            1.0 / (self.hi - self.lo)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        self.lo + p * (self.hi - self.lo)
+    }
+
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kooza_sim::rng::Rng64;
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 1.0).is_err());
+        assert!(Uniform::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pdf_cdf_shape() {
+        let d = Uniform::new(0.0, 4.0).unwrap();
+        assert_eq!(d.pdf(2.0), 0.25);
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.pdf(5.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.cdf(1.0), 0.25);
+        assert_eq!(d.cdf(9.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let d = Uniform::new(-3.0, 5.0).unwrap();
+        for p in [0.0, 0.3, 0.5, 0.9] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn variance_formula() {
+        let d = Uniform::new(0.0, 12.0).unwrap();
+        assert_eq!(d.variance(), 12.0);
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let d = Uniform::new(10.0, 11.0).unwrap();
+        let mut rng = Rng64::new(1);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..11.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! The Weibull distribution — flexible inter-arrival and lifetime model;
+//! sub-exponential tails for shape < 1 make it a frequent best-fit for DC
+//! job inter-arrivals.
+
+use super::{assert_probability, require_positive, Distribution};
+use crate::special::ln_gamma;
+use crate::Result;
+
+/// Weibull distribution with shape `k > 0` and scale `λ > 0`.
+///
+/// ```
+/// use kooza_stats::dist::{Distribution, Weibull};
+/// let d = Weibull::new(1.0, 2.0)?; // shape 1 == exponential with mean 2
+/// assert!((d.mean() - 2.0).abs() < 1e-12);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution with the given shape and scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StatsError::InvalidParameter`] unless both are
+    /// finite and positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self> {
+        require_positive("shape", shape)?;
+        require_positive("scale", scale)?;
+        Ok(Weibull { shape, scale })
+    }
+
+    /// Shape parameter k.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter λ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    fn gamma_fn(x: f64) -> f64 {
+        ln_gamma(x).exp()
+    }
+}
+
+impl Distribution for Weibull {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let (k, l) = (self.shape, self.scale);
+        if x == 0.0 {
+            // pdf(0) is 0 for k > 1, λ⁻¹ for k = 1, +inf for k < 1.
+            return if k > 1.0 {
+                0.0
+            } else if (k - 1.0).abs() < 1e-12 {
+                1.0 / l
+            } else {
+                f64::INFINITY
+            };
+        }
+        (k / l) * (x / l).powf(k - 1.0) * (-(x / l).powf(k)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        assert!(p < 1.0, "weibull quantile undefined at p = 1");
+        self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * Self::gamma_fn(1.0 + 1.0 / self.shape)
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = Self::gamma_fn(1.0 + 1.0 / self.shape);
+        let g2 = Self::gamma_fn(1.0 + 2.0 / self.shape);
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+
+    fn name(&self) -> &'static str {
+        "weibull"
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let (k, l) = (self.shape, self.scale);
+        k.ln() - k * l.ln() + (k - 1.0) * x.ln() - (x / l).powf(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kooza_sim::rng::Rng64;
+
+    #[test]
+    fn shape_one_is_exponential() {
+        use crate::dist::Exponential;
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        let e = Exponential::with_mean(2.0).unwrap();
+        for x in [0.1, 0.5, 1.0, 3.0, 7.0] {
+            assert!((w.cdf(x) - e.cdf(x)).abs() < 1e-12);
+            assert!((w.pdf(x) - e.pdf(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let d = Weibull::new(0.7, 3.0).unwrap();
+        for p in [0.0, 0.2, 0.5, 0.9, 0.999] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mean_formula_against_sampling() {
+        let d = Weibull::new(2.0, 1.0).unwrap();
+        // Mean = Γ(1.5) = √π/2 ≈ 0.886.
+        assert!((d.mean() - 0.886_226_925_452_758).abs() < 1e-9);
+        let mut rng = Rng64::new(44);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - d.mean()).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn pdf_at_zero_cases() {
+        assert_eq!(Weibull::new(2.0, 1.0).unwrap().pdf(0.0), 0.0);
+        assert_eq!(Weibull::new(1.0, 2.0).unwrap().pdf(0.0), 0.5);
+        assert_eq!(Weibull::new(0.5, 1.0).unwrap().pdf(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn log_pdf_consistency() {
+        let d = Weibull::new(1.7, 2.2).unwrap();
+        for x in [0.3, 1.0, 4.0] {
+            assert!((d.log_pdf(x) - d.pdf(x).ln()).abs() < 1e-10);
+        }
+    }
+}

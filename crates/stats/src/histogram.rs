@@ -1,0 +1,399 @@
+//! Histograms: the fixed-bin 1-D histogram and Luthi-style
+//! multi-dimensional VU-lists.
+//!
+//! A *VU-list* (vector-of-usage list) is a sparse multi-dimensional
+//! histogram over parameter vectors — e.g. (arrival-rate bin, job-size bin,
+//! memory-demand bin) — that both characterizes a workload and, because it
+//! is a joint distribution, can be *sampled* to generate synthetic jobs that
+//! preserve cross-feature correlations.
+
+use std::collections::BTreeMap;
+
+use kooza_sim::rng::Rng64;
+
+use crate::{ensure_finite, ensure_len, Result, StatsError};
+
+/// A fixed-bin one-dimensional histogram.
+///
+/// ```
+/// use kooza_stats::histogram::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5)?;
+/// for x in [1.0, 1.5, 7.2] { h.record(x); }
+/// assert_eq!(h.count(0), 2); // [0,2)
+/// assert_eq!(h.count(3), 1); // [6,8)
+/// assert_eq!(h.total(), 3);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `bins == 0` or the range is empty/non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidInput("bins must be positive".into()));
+        }
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(StatsError::InvalidInput(format!("bad range [{lo}, {hi})")));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Records one observation (out-of-range values go to under/overflow).
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = self.bin_of(x);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// The bin index `x` falls into (`x` must be within range).
+    pub fn bin_of(&self, x: f64) -> usize {
+        let f = (x - self.lo) / (self.hi - self.lo);
+        ((f * self.counts.len() as f64) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Count in bin `idx`.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations recorded (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Midpoint of bin `idx`.
+    pub fn bin_center(&self, idx: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (idx as f64 + 0.5) * w
+    }
+
+    /// In-range counts as a density (sums to 1 over in-range mass).
+    pub fn normalized(&self) -> Vec<f64> {
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / in_range as f64).collect()
+    }
+}
+
+/// A sparse multi-dimensional histogram over binned feature vectors
+/// (Luthi's VU-list).
+///
+/// Dimensions are defined by per-dimension `(lo, hi, bins)` edges; cells are
+/// stored sparsely. Sampling draws a cell with probability proportional to
+/// its count, then a uniform point inside the cell — preserving joint
+/// structure that per-dimension histograms would lose.
+///
+/// ```
+/// use kooza_sim::rng::Rng64;
+/// use kooza_stats::histogram::VuList;
+///
+/// let mut vu = VuList::new(&[(0.0, 10.0, 10), (0.0, 1.0, 4)])?;
+/// vu.record(&[3.2, 0.9])?;
+/// vu.record(&[3.4, 0.8])?;
+/// let mut rng = Rng64::new(1);
+/// let v = vu.sample(&mut rng).unwrap();
+/// assert!(v[0] >= 3.0 && v[0] < 4.0);
+/// assert!(v[1] >= 0.75 && v[1] < 1.0);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VuList {
+    dims: Vec<(f64, f64, usize)>,
+    cells: BTreeMap<Vec<usize>, u64>,
+    total: u64,
+}
+
+impl VuList {
+    /// Creates a VU-list with the given `(lo, hi, bins)` per dimension.
+    ///
+    /// # Errors
+    ///
+    /// Errors if no dimensions are given or any dimension is degenerate.
+    pub fn new(dims: &[(f64, f64, usize)]) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(StatsError::InvalidInput("VU-list needs at least one dimension".into()));
+        }
+        for &(lo, hi, bins) in dims {
+            if bins == 0 || !(lo.is_finite() && hi.is_finite() && lo < hi) {
+                return Err(StatsError::InvalidInput(format!(
+                    "bad dimension ({lo}, {hi}, {bins})"
+                )));
+            }
+        }
+        Ok(VuList {
+            dims: dims.to_vec(),
+            cells: BTreeMap::new(),
+            total: 0,
+        })
+    }
+
+    /// Number of dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Total recorded vectors.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn cell_of(&self, v: &[f64]) -> Result<Vec<usize>> {
+        if v.len() != self.dims.len() {
+            return Err(StatsError::InvalidInput(format!(
+                "vector has {} dims, VU-list has {}",
+                v.len(),
+                self.dims.len()
+            )));
+        }
+        ensure_finite(v)?;
+        Ok(v.iter()
+            .zip(&self.dims)
+            .map(|(&x, &(lo, hi, bins))| {
+                let f = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+                ((f * bins as f64) as usize).min(bins - 1)
+            })
+            .collect())
+    }
+
+    /// Records one feature vector (values clamp to the range edges).
+    ///
+    /// # Errors
+    ///
+    /// Errors on a dimension mismatch or non-finite values.
+    pub fn record(&mut self, v: &[f64]) -> Result<()> {
+        let cell = self.cell_of(v)?;
+        *self.cells.entry(cell).or_insert(0) += 1;
+        self.total += 1;
+        Ok(())
+    }
+
+    /// Count in the cell containing `v`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a dimension mismatch or non-finite values.
+    pub fn count_at(&self, v: &[f64]) -> Result<u64> {
+        Ok(self.cells.get(&self.cell_of(v)?).copied().unwrap_or(0))
+    }
+
+    /// Draws a synthetic feature vector; `None` if nothing was recorded.
+    pub fn sample(&self, rng: &mut Rng64) -> Option<Vec<f64>> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut target = rng.next_bounded(self.total);
+        let mut chosen: Option<&Vec<usize>> = None;
+        for (cell, &count) in &self.cells {
+            if target < count {
+                chosen = Some(cell);
+                break;
+            }
+            target -= count;
+        }
+        let cell = chosen?;
+        Some(
+            cell.iter()
+                .zip(&self.dims)
+                .map(|(&idx, &(lo, hi, bins))| {
+                    let w = (hi - lo) / bins as f64;
+                    lo + (idx as f64 + rng.next_f64()) * w
+                })
+                .collect(),
+        )
+    }
+
+    /// Marginal histogram counts along one dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn marginal(&self, dim: usize) -> Vec<u64> {
+        assert!(dim < self.dims.len(), "dimension {dim} out of range");
+        let bins = self.dims[dim].2;
+        let mut out = vec![0u64; bins];
+        for (cell, &count) in &self.cells {
+            out[cell[dim]] += count;
+        }
+        out
+    }
+}
+
+/// Builds a 1-D histogram of `data` with automatic range and Sturges bins.
+///
+/// # Errors
+///
+/// Errors on empty, non-finite or constant data.
+pub fn auto_histogram(data: &[f64]) -> Result<Histogram> {
+    ensure_len(data, 2)?;
+    ensure_finite(data)?;
+    let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if hi <= lo {
+        return Err(StatsError::InvalidInput("constant data has no histogram range".into()));
+    }
+    let bins = (1.0 + (data.len() as f64).log2()).ceil() as usize;
+    let mut h = Histogram::new(lo, hi + (hi - lo) * 1e-9, bins)?;
+    for &x in data {
+        h.record(x);
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(9.999);
+        h.record(10.0);
+        h.record(25.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for i in 0..100 {
+            h.record(i as f64 / 100.0);
+        }
+        let sum: f64 = h.normalized().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bin_center() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_args() {
+        assert!(Histogram::new(0.0, 10.0, 0).is_err());
+        assert!(Histogram::new(5.0, 5.0, 3).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn vu_list_records_and_counts() {
+        let mut vu = VuList::new(&[(0.0, 4.0, 4), (0.0, 4.0, 4)]).unwrap();
+        vu.record(&[1.5, 2.5]).unwrap();
+        vu.record(&[1.7, 2.1]).unwrap();
+        vu.record(&[3.5, 0.5]).unwrap();
+        assert_eq!(vu.count_at(&[1.0, 2.0]).unwrap(), 2);
+        assert_eq!(vu.count_at(&[3.0, 0.0]).unwrap(), 1);
+        assert_eq!(vu.count_at(&[0.0, 0.0]).unwrap(), 0);
+        assert_eq!(vu.occupied_cells(), 2);
+        assert_eq!(vu.total(), 3);
+    }
+
+    #[test]
+    fn vu_list_dimension_mismatch() {
+        let mut vu = VuList::new(&[(0.0, 1.0, 2)]).unwrap();
+        assert!(vu.record(&[0.5, 0.5]).is_err());
+        assert!(vu.count_at(&[]).is_err());
+    }
+
+    #[test]
+    fn vu_list_sampling_preserves_joint_structure() {
+        // Only the diagonal cells are populated; samples must stay on it.
+        let mut vu = VuList::new(&[(0.0, 2.0, 2), (0.0, 2.0, 2)]).unwrap();
+        for _ in 0..50 {
+            vu.record(&[0.5, 0.5]).unwrap();
+            vu.record(&[1.5, 1.5]).unwrap();
+        }
+        let mut rng = Rng64::new(42);
+        for _ in 0..200 {
+            let v = vu.sample(&mut rng).unwrap();
+            let same_half = (v[0] < 1.0) == (v[1] < 1.0);
+            assert!(same_half, "off-diagonal sample {v:?}");
+        }
+    }
+
+    #[test]
+    fn vu_list_empty_sample_is_none() {
+        let vu = VuList::new(&[(0.0, 1.0, 2)]).unwrap();
+        assert!(vu.sample(&mut Rng64::new(1)).is_none());
+    }
+
+    #[test]
+    fn vu_list_marginal() {
+        let mut vu = VuList::new(&[(0.0, 2.0, 2), (0.0, 2.0, 2)]).unwrap();
+        vu.record(&[0.5, 0.5]).unwrap();
+        vu.record(&[0.5, 1.5]).unwrap();
+        vu.record(&[1.5, 1.5]).unwrap();
+        assert_eq!(vu.marginal(0), vec![2, 1]);
+        assert_eq!(vu.marginal(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn auto_histogram_covers_all_data() {
+        let data: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let h = auto_histogram(&data).unwrap();
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 256);
+        // Sturges: 1 + log2(256) = 9 bins.
+        assert_eq!(h.bins(), 9);
+    }
+
+    #[test]
+    fn auto_histogram_rejects_constant() {
+        assert!(auto_histogram(&[3.0, 3.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Principal component analysis.
+//!
+//! Abrahao et al. use PCA to categorize CPU-utilization patterns from large
+//! trace volumes; KOOZA's §4 proposes PCA/SVD to keep per-subsystem model
+//! feature spaces succinct. This implementation centers the data, performs a
+//! Jacobi eigendecomposition of the covariance matrix, and exposes
+//! projection, reconstruction, and explained-variance accounting.
+
+use crate::matrix::Matrix;
+use crate::{Result, StatsError};
+
+/// A fitted PCA transform.
+///
+/// ```
+/// use kooza_stats::pca::Pca;
+/// // Points on the line y = 2x: one dominant component.
+/// let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+/// let pca = Pca::fit(&rows)?;
+/// assert!(pca.explained_variance_ratio()[0] > 0.999);
+/// # Ok::<(), kooza_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    means: Vec<f64>,
+    /// Columns are principal directions, descending eigenvalue.
+    components: Matrix,
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on observation rows.
+    ///
+    /// # Errors
+    ///
+    /// Errors on fewer than two rows, ragged rows, or eigendecomposition
+    /// failure.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.len() < 2 {
+            return Err(StatsError::InsufficientData { needed: 2, got: rows.len() });
+        }
+        let k = rows[0].len();
+        if k == 0 {
+            return Err(StatsError::InvalidInput("rows must be non-empty".into()));
+        }
+        let mut data = Matrix::zeros(rows.len(), k);
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != k {
+                return Err(StatsError::InvalidInput("ragged rows".into()));
+            }
+            for (c, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(StatsError::NonFiniteData);
+                }
+                data.set(r, c, v);
+            }
+        }
+        let n = rows.len() as f64;
+        let means: Vec<f64> = (0..k).map(|c| data.col(c).iter().sum::<f64>() / n).collect();
+        let cov = data.covariance()?;
+        let (eigenvalues, components) = cov.symmetric_eigen()?;
+        // Numerical noise can make tiny eigenvalues slightly negative.
+        let eigenvalues = eigenvalues.into_iter().map(|l| l.max(0.0)).collect();
+        Ok(Pca {
+            means,
+            components,
+            eigenvalues,
+        })
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Eigenvalues (variances along each component), descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance explained by each component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total == 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues.iter().map(|l| l / total).collect()
+    }
+
+    /// Smallest number of components whose cumulative explained variance
+    /// reaches `threshold` (e.g. `0.95`).
+    pub fn components_for_variance(&self, threshold: f64) -> usize {
+        let ratios = self.explained_variance_ratio();
+        let mut acc = 0.0;
+        for (i, r) in ratios.iter().enumerate() {
+            acc += r;
+            if acc >= threshold {
+                return i + 1;
+            }
+        }
+        ratios.len()
+    }
+
+    /// Projects one observation onto the first `n_components` components.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a feature-count mismatch or `n_components` out of range.
+    pub fn transform(&self, row: &[f64], n_components: usize) -> Result<Vec<f64>> {
+        if row.len() != self.means.len() {
+            return Err(StatsError::InvalidInput("feature count mismatch".into()));
+        }
+        if n_components == 0 || n_components > self.means.len() {
+            return Err(StatsError::InvalidInput(format!(
+                "n_components {n_components} out of range"
+            )));
+        }
+        let centered: Vec<f64> = row.iter().zip(&self.means).map(|(x, m)| x - m).collect();
+        Ok((0..n_components)
+            .map(|c| {
+                (0..centered.len())
+                    .map(|r| centered[r] * self.components.get(r, c))
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Reconstructs an observation from its projection (lossy if
+    /// `scores.len() < n_features`).
+    ///
+    /// # Errors
+    ///
+    /// Errors if more scores are given than components exist.
+    pub fn inverse_transform(&self, scores: &[f64]) -> Result<Vec<f64>> {
+        if scores.len() > self.means.len() {
+            return Err(StatsError::InvalidInput("too many scores".into()));
+        }
+        let k = self.means.len();
+        let mut out = self.means.clone();
+        for (c, &s) in scores.iter().enumerate() {
+            for (r, o) in out.iter_mut().enumerate().take(k) {
+                *o += s * self.components.get(r, c);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kooza_sim::rng::Rng64;
+
+    #[test]
+    fn dominant_direction_found() {
+        // Cloud stretched along (1, 1)/√2.
+        let mut rng = Rng64::new(500);
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|_| {
+                let big = (rng.next_f64() - 0.5) * 20.0;
+                let small = (rng.next_f64() - 0.5) * 0.5;
+                vec![big + small, big - small]
+            })
+            .collect();
+        let pca = Pca::fit(&rows).unwrap();
+        let ratio = pca.explained_variance_ratio();
+        assert!(ratio[0] > 0.98, "ratio {ratio:?}");
+        assert_eq!(pca.components_for_variance(0.95), 1);
+    }
+
+    #[test]
+    fn transform_then_inverse_full_rank_is_identity() {
+        let rows: Vec<Vec<f64>> = vec![
+            vec![1.0, 2.0, 0.5],
+            vec![2.0, 1.0, 1.5],
+            vec![3.0, 4.0, 2.5],
+            vec![4.0, 3.0, 0.2],
+            vec![0.5, 1.2, 3.3],
+        ];
+        let pca = Pca::fit(&rows).unwrap();
+        for row in &rows {
+            let scores = pca.transform(row, 3).unwrap();
+            let back = pca.inverse_transform(&scores).unwrap();
+            for (a, b) in row.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "{row:?} != {back:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_reconstruction_error_is_small_for_low_rank_data() {
+        // Rank-1 data reconstructs perfectly from one component.
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let t = i as f64;
+                vec![t, 2.0 * t, -t]
+            })
+            .collect();
+        let pca = Pca::fit(&rows).unwrap();
+        let scores = pca.transform(&rows[7], 1).unwrap();
+        let back = pca.inverse_transform(&scores).unwrap();
+        for (a, b) in rows[7].iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn explained_variance_sums_to_one() {
+        let mut rng = Rng64::new(501);
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|_| (0..4).map(|_| rng.next_f64()).collect())
+            .collect();
+        let pca = Pca::fit(&rows).unwrap();
+        let total: f64 = pca.explained_variance_ratio().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Pca::fit(&[vec![1.0, 2.0]]).is_err());
+        assert!(Pca::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Pca::fit(&[vec![f64::NAN], vec![1.0]]).is_err());
+        let pca = Pca::fit(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![0.0, 3.0]]).unwrap();
+        assert!(pca.transform(&[1.0], 1).is_err());
+        assert!(pca.transform(&[1.0, 2.0], 0).is_err());
+        assert!(pca.transform(&[1.0, 2.0], 3).is_err());
+        assert!(pca.inverse_transform(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Trace infrastructure: the data every model in this workspace trains on.
+//!
+//! * [`record`] — per-subsystem trace records (storage, CPU, memory,
+//!   network), each tagged with the global request id that ties them
+//!   together (the Dapper design constraint: "applications or middleware
+//!   tag all message records with a unique global identifier").
+//! * [`span`] — Dapper-style span trees: nested timed sections with
+//!   annotations, reconstructed into per-request trees.
+//! * [`sampler`] — 1-in-N deterministic trace sampling and GWP-style
+//!   adaptive sampling.
+//! * [`store`] — the [`TraceSet`](store::TraceSet) container with JSONL
+//!   persistence.
+//! * [`characterize`] — per-subsystem workload characterization (read/write
+//!   mix, seek distances, inter-arrivals, burstiness, CPU pattern
+//!   classification per Abrahao et al.).
+//! * [`profile`] — GWP-style whole-machine profile time series (Ren et
+//!   al.): windowed arrival rates, CPU busy fractions and I/O counters.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod characterize;
+pub mod profile;
+pub mod record;
+pub mod sampler;
+pub mod span;
+pub mod store;
+
+pub use record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
+pub use span::{Span, SpanCollector, SpanId, TraceId, TraceTree};
+pub use store::TraceSet;
+
+/// Errors from trace manipulation and persistence.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure while reading or writing a trace stream.
+    Io(std::io::Error),
+    /// A JSONL line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// A span tree was structurally invalid (cycle, missing parent, ...).
+    MalformedTree(String),
+    /// An operation needed data the trace does not contain.
+    Empty(&'static str),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            TraceError::MalformedTree(msg) => write!(f, "malformed span tree: {msg}"),
+            TraceError::Empty(what) => write!(f, "trace contains no {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TraceError>;

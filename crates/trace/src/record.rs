@@ -1,0 +1,143 @@
+//! Per-subsystem trace records.
+//!
+//! Every record carries `ts_nanos` (simulated nanoseconds) and
+//! `request_id`, the unique global identifier that lets in-depth tooling
+//! reassemble the life of a request across subsystems.
+
+use serde::{Deserialize, Serialize};
+
+/// Read or write, for storage and memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoOp {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+impl std::fmt::Display for IoOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoOp::Read => write!(f, "Read"),
+            IoOp::Write => write!(f, "Write"),
+        }
+    }
+}
+
+/// Direction of a network record relative to the traced server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Arriving at the server (a request).
+    Ingress,
+    /// Leaving the server (a response).
+    Egress,
+}
+
+/// One storage I/O: which logical block, how much, read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageRecord {
+    /// Simulated time of issue, nanoseconds.
+    pub ts_nanos: u64,
+    /// Logical block number (LBN) the access starts at.
+    pub lbn: u64,
+    /// Bytes transferred.
+    pub size: u64,
+    /// Access type.
+    pub op: IoOp,
+    /// Global id of the request this access serves.
+    pub request_id: u64,
+}
+
+/// One CPU utilization sample attributed to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuRecord {
+    /// Simulated time of the sample, nanoseconds.
+    pub ts_nanos: u64,
+    /// Utilization in `[0, 1]` over the sampling interval.
+    pub utilization: f64,
+    /// Busy time in nanoseconds attributed to the request.
+    pub busy_nanos: u64,
+    /// Global id of the request.
+    pub request_id: u64,
+}
+
+/// One memory access: which bank, how much, read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRecord {
+    /// Simulated time, nanoseconds.
+    pub ts_nanos: u64,
+    /// Memory bank index.
+    pub bank: u32,
+    /// Bytes accessed.
+    pub size: u64,
+    /// Access type.
+    pub op: IoOp,
+    /// Global id of the request.
+    pub request_id: u64,
+}
+
+/// One network event: a request arriving or a response leaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkRecord {
+    /// Simulated time, nanoseconds.
+    pub ts_nanos: u64,
+    /// Message size in bytes.
+    pub size: u64,
+    /// Ingress (request) or egress (response).
+    pub direction: Direction,
+    /// Global id of the request.
+    pub request_id: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let s = StorageRecord {
+            ts_nanos: 123,
+            lbn: 456,
+            size: 4096,
+            op: IoOp::Write,
+            request_id: 7,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StorageRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+
+        let c = CpuRecord {
+            ts_nanos: 1,
+            utilization: 0.25,
+            busy_nanos: 500,
+            request_id: 7,
+        };
+        let back: CpuRecord = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(c, back);
+
+        let m = MemoryRecord {
+            ts_nanos: 2,
+            bank: 3,
+            size: 64,
+            op: IoOp::Read,
+            request_id: 7,
+        };
+        let back: MemoryRecord = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+
+        let n = NetworkRecord {
+            ts_nanos: 3,
+            size: 65536,
+            direction: Direction::Ingress,
+            request_id: 7,
+        };
+        let back: NetworkRecord = serde_json::from_str(&serde_json::to_string(&n).unwrap()).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn io_op_display() {
+        assert_eq!(IoOp::Read.to_string(), "Read");
+        assert_eq!(IoOp::Write.to_string(), "Write");
+    }
+}

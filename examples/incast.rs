@@ -1,0 +1,103 @@
+//! TCP/IP incast: many servers answering one request collapse the
+//! client's ingress link.
+//!
+//! §4: "since information on job/task ids is recorded the model can
+//! replicate effects like the TCP/IP incast problem, or other events
+//! involving multiple machines servicing the same request." Here a striped
+//! read fans out to N chunkservers; all stripes converge on the client's
+//! single ingress link. With per-message latency overhead, wider fan-out
+//! *degrades* completion time once the link saturates — the incast
+//! signature.
+//!
+//! Run with: `cargo run --example incast`
+
+use kooza_sim::{Engine, ServerPool, SimDuration, SimTime};
+
+/// One striped-read completion time: `fanout` servers each return
+/// `total_bytes / fanout`, all entering the client's link at ~the same
+/// moment (after their disk reads complete).
+fn striped_read_completion(
+    total_bytes: u64,
+    fanout: u64,
+    link_bytes_per_sec: f64,
+    per_message_latency: SimDuration,
+    disk_secs_per_stripe: f64,
+) -> SimDuration {
+    #[derive(Debug)]
+    enum Ev {
+        StripeReady,
+        LinkDone,
+    }
+    let mut engine: Engine<Ev> = Engine::new();
+    // The client NIC: one channel, FIFO.
+    let mut link: ServerPool<u64> = ServerPool::new(1);
+    let stripe = total_bytes / fanout.max(1);
+    let transfer = |bytes: u64| {
+        per_message_latency + SimDuration::from_secs_f64(bytes as f64 / link_bytes_per_sec)
+    };
+    // Disk reads are parallel across servers; each stripe becomes ready
+    // after its server's (size-dependent) disk time.
+    for _ in 0..fanout {
+        let disk = SimDuration::from_secs_f64(
+            disk_secs_per_stripe + stripe as f64 / 100e6, // seek + transfer
+        );
+        engine.schedule(disk, Ev::StripeReady);
+    }
+    let mut remaining = fanout;
+    let mut done_at = SimTime::ZERO;
+    while let Some((now, ev)) = engine.next() {
+        match ev {
+            Ev::StripeReady => {
+                if link.arrive(now, stripe).is_some() {
+                    engine.schedule(transfer(stripe), Ev::LinkDone);
+                }
+            }
+            Ev::LinkDone => {
+                remaining -= 1;
+                done_at = now;
+                if let Some(bytes) = link.complete(now) {
+                    engine.schedule(transfer(bytes), Ev::LinkDone);
+                }
+            }
+        }
+    }
+    assert_eq!(remaining, 0);
+    done_at - SimTime::ZERO
+}
+
+fn main() {
+    let total = 4 * 1024 * 1024u64; // a 4 MB striped read
+    let link_bw = 125e6; // 1 GbE
+    let per_msg = SimDuration::from_micros(200); // per-response overhead
+    let disk = 0.004; // 4 ms positioning per stripe
+
+    println!("4 MB striped read over a 1 GbE client link:");
+    println!(
+        "{:>8} {:>14} {:>16} {:>18}",
+        "fan-out", "stripe (KB)", "completion (ms)", "goodput (MB/s)"
+    );
+    let mut best = f64::INFINITY;
+    let mut best_fanout = 1;
+    for fanout in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+        let t = striped_read_completion(total, fanout, link_bw, per_msg, disk);
+        let ms = t.as_millis_f64();
+        if ms < best {
+            best = ms;
+            best_fanout = fanout;
+        }
+        println!(
+            "{:>8} {:>14.1} {:>16.2} {:>18.1}",
+            fanout,
+            total as f64 / fanout as f64 / 1024.0,
+            ms,
+            total as f64 / (ms / 1e3) / 1e6
+        );
+    }
+    println!(
+        "\nSweet spot at fan-out {best_fanout}: wider striping first hides disk\n\
+         positioning, then the single client link serializes the responses\n\
+         and per-message overhead accumulates — completion time *rises*\n\
+         with more servers. That non-monotonicity is the incast effect the\n\
+         paper says request-id-aware models can replicate."
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the full KOOZA workflow in one file.
+//!
+//! 1. Simulate a GFS cluster to obtain multi-subsystem traces (in a real
+//!    deployment these come from your instrumentation).
+//! 2. Train the KOOZA model on the trace.
+//! 3. Generate synthetic requests and validate them against the original.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use kooza::class::assemble_observations;
+use kooza::validate::validate;
+use kooza::{Kooza, ReplayConfig, WorkloadModel};
+use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+use kooza_sim::rng::Rng64;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Collect a trace ------------------------------------------------
+    let mut config = ClusterConfig::small();
+    config.workload = WorkloadMix::read_heavy();
+    let mut cluster = Cluster::new(config.clone())?;
+    let outcome = cluster.run(1000, 7);
+    println!(
+        "simulated {} requests ({:.1} req/s, mean latency {:.2} ms)",
+        outcome.stats.completed,
+        outcome.stats.throughput_per_sec(),
+        outcome.stats.latency_secs.mean() * 1e3
+    );
+    println!(
+        "trace: {} storage, {} cpu, {} memory, {} network records, {} spans",
+        outcome.trace.storage.len(),
+        outcome.trace.cpu.len(),
+        outcome.trace.memory.len(),
+        outcome.trace.network.len(),
+        outcome.trace.spans.len()
+    );
+
+    // --- 2. Train KOOZA ----------------------------------------------------
+    let model = Kooza::fit(&outcome.trace)?;
+    println!(
+        "\ntrained on {} requests; arrival model: {} at {:.1} req/s; {} request classes",
+        model.trained_requests(),
+        model.network().interarrival_family(),
+        model.network().mean_rate(),
+        model.structure().classes().len()
+    );
+    for class in model.structure().classes() {
+        println!("  [{:>5.1}%] {}", class.probability * 100.0, class.signature);
+    }
+
+    // --- 3. Generate and validate ------------------------------------------
+    let mut rng = Rng64::new(42);
+    let synthetic = model.generate(1000, &mut rng);
+    let observations = assemble_observations(&outcome.trace)?;
+    let report = validate(&model, &observations, &synthetic, ReplayConfig::from(&config));
+    println!("\nvalidation (original vs synthetic):\n{}", report.render());
+    println!(
+        "max feature variation {:.2}% | latency variation {:.2}%",
+        report.max_feature_variation(),
+        report.latency_variation().unwrap_or(f64::NAN)
+    );
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Cross-crate integration: the full pipeline from simulation through
+//! training, generation, validation and cross-examination.
+
+use kooza::class::assemble_observations;
+use kooza::crossexam::cross_examine;
+use kooza::validate::validate;
+use kooza::{InBreadthModel, InDepthModel, Kooza, ReplayConfig, WorkloadModel};
+use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+use kooza_sim::rng::Rng64;
+
+fn mixed_trace(n: u64, seed: u64) -> (ClusterConfig, kooza_trace::TraceSet) {
+    let mut config = ClusterConfig::small();
+    config.workload = WorkloadMix {
+        n_chunks: 120,
+        ..WorkloadMix::mixed()
+    };
+    let trace = Cluster::new(config.clone()).unwrap().run(n, seed).trace;
+    (config, trace)
+}
+
+#[test]
+fn paper_table_two_reproduces() {
+    // The headline claim: KOOZA's synthetic requests match original
+    // features within ~1% and latency within the paper's ~7% band.
+    let mut config = ClusterConfig::small();
+    config.workload = WorkloadMix::read_heavy();
+    let outcome = Cluster::new(config.clone()).unwrap().run(1200, 2011);
+    let obs = assemble_observations(&outcome.trace).unwrap();
+    let model = Kooza::fit(&outcome.trace).unwrap();
+    let synth = model.generate(1200, &mut Rng64::new(1));
+    let report = validate(&model, &obs, &synth, ReplayConfig::from(&config));
+    assert!(report.max_feature_variation() < 1.5, "{}", report.render());
+    assert!(report.latency_variation().unwrap() < 10.0, "{}", report.render());
+}
+
+#[test]
+fn paper_table_one_reproduces() {
+    let (config, trace) = mixed_trace(1500, 2012);
+    let obs = assemble_observations(&trace).unwrap();
+    let kooza = Kooza::fit(&trace).unwrap();
+    let inb = InBreadthModel::fit(&trace).unwrap();
+    let ind = InDepthModel::fit(&trace).unwrap();
+    let table = cross_examine(
+        &[&kooza, &inb, &ind],
+        &obs,
+        ReplayConfig::from(&config),
+        1500,
+        7,
+    );
+    let row = |name: &str| table.rows.iter().find(|r| r.model == name).unwrap();
+    assert!(row("kooza").completeness_check(), "{}", table.render());
+    assert!(!row("in-depth").features_check(), "{}", table.render());
+    assert!(row("in-depth").time_deps_check(), "{}", table.render());
+    assert!(!row("in-breadth").time_deps_check(), "{}", table.render());
+}
+
+#[test]
+fn trace_round_trip_preserves_model_quality() {
+    // Persist the trace as JSONL, reload it, and train on the reload: the
+    // model must be identical in behaviour (identical trained structures).
+    let (_, trace) = mixed_trace(600, 2013);
+    let mut buf = Vec::new();
+    trace.write_jsonl(&mut buf).unwrap();
+    let reloaded = kooza_trace::TraceSet::read_jsonl(buf.as_slice()).unwrap();
+    assert_eq!(trace, reloaded);
+    let a = Kooza::fit(&trace).unwrap();
+    let b = Kooza::fit(&reloaded).unwrap();
+    let ga = a.generate(200, &mut Rng64::new(3));
+    let gb = b.generate(200, &mut Rng64::new(3));
+    assert_eq!(ga, gb);
+}
+
+#[test]
+fn multi_server_cluster_traces_train_models() {
+    // 3-way replication cluster: KOOZA still trains and the replicate
+    // phase appears as an opaque class phase.
+    let mut config = ClusterConfig::cluster(4);
+    config.workload = WorkloadMix::write_heavy();
+    config.workload.mean_interarrival_secs = 0.3;
+    let outcome = Cluster::new(config).unwrap().run(300, 2014);
+    let model = Kooza::fit(&outcome.trace).unwrap();
+    let has_replicate = model
+        .structure()
+        .classes()
+        .iter()
+        .any(|c| c.signature.0.iter().any(|p| p == "replicate"));
+    assert!(has_replicate, "replication phase should be learned");
+    let synth = model.generate(100, &mut Rng64::new(4));
+    assert_eq!(synth.len(), 100);
+}
+
+#[test]
+fn generation_scales_beyond_training_length() {
+    let (_, trace) = mixed_trace(400, 2015);
+    let model = Kooza::fit(&trace).unwrap();
+    let synth = model.generate(10_000, &mut Rng64::new(5));
+    assert_eq!(synth.len(), 10_000);
+    // Arrival rate preserved at scale.
+    let mean_gap: f64 =
+        synth.iter().map(|r| r.interarrival_secs).sum::<f64>() / synth.len() as f64;
+    assert!((1.0 / mean_gap - 50.0).abs() < 8.0, "rate {}", 1.0 / mean_gap);
+}
+
+#[test]
+fn models_are_deterministic_end_to_end() {
+    let (config, trace) = mixed_trace(500, 2016);
+    let model = Kooza::fit(&trace).unwrap();
+    let s1 = model.generate(300, &mut Rng64::new(6));
+    let s2 = model.generate(300, &mut Rng64::new(6));
+    assert_eq!(s1, s2);
+    let l1 = kooza::replay_loaded_latency_secs(&s1, ReplayConfig::from(&config));
+    let l2 = kooza::replay_loaded_latency_secs(&s2, ReplayConfig::from(&config));
+    assert_eq!(l1, l2);
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use kooza_markov::MarkovChainBuilder;
+use kooza_queueing::analytic::{mg1, mm1, mmc};
+use kooza_sim::rng::Rng64;
+use kooza_sim::{Engine, SimDuration, Tally};
+use kooza_stats::dist::{Distribution, Exponential, LogNormal, Pareto, Uniform, Weibull};
+use kooza_stats::summary::percentile;
+
+proptest! {
+    /// Every distribution's quantile inverts its cdf on the open interval.
+    #[test]
+    fn quantile_inverts_cdf(
+        p in 0.001f64..0.999,
+        rate in 0.1f64..50.0,
+        mu in -3.0f64..3.0,
+        sigma in 0.05f64..2.0,
+        alpha in 1.05f64..4.0,
+        shape in 0.3f64..4.0,
+    ) {
+        let dists: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Exponential::new(rate).unwrap()),
+            Box::new(LogNormal::new(mu, sigma).unwrap()),
+            Box::new(Pareto::new(0.5, alpha).unwrap()),
+            Box::new(Weibull::new(shape, 1.5).unwrap()),
+            Box::new(Uniform::new(mu, mu + 2.0).unwrap()),
+        ];
+        for d in &dists {
+            let x = d.quantile(p);
+            let back = d.cdf(x);
+            prop_assert!((back - p).abs() < 1e-6, "{}: cdf(q({p})) = {back}", d.name());
+        }
+    }
+
+    /// Cdfs are monotone non-decreasing.
+    #[test]
+    fn cdf_is_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0, sigma in 0.1f64..3.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let d = LogNormal::new(0.0, sigma).unwrap();
+        prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-15);
+    }
+
+    /// Samples fall inside the support and within extreme quantiles.
+    #[test]
+    fn samples_respect_support(seed in 0u64..5000, alpha in 1.1f64..4.0) {
+        let d = Pareto::new(2.0, alpha).unwrap();
+        let mut rng = Rng64::new(seed);
+        for _ in 0..50 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= 2.0);
+        }
+    }
+
+    /// Trained Markov chains always have stochastic rows, whatever the
+    /// observed sequence.
+    #[test]
+    fn markov_rows_stochastic(seq in proptest::collection::vec(0usize..6, 2..200)) {
+        let chain = MarkovChainBuilder::new(6).observe_sequence(&seq).build().unwrap();
+        for i in 0..6 {
+            let sum: f64 = chain.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+            prop_assert!(chain.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        let pi = chain.stationary().unwrap();
+        let total: f64 = pi.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// Little's law holds in every stable analytic queue.
+    #[test]
+    fn littles_law(lambda in 0.1f64..9.0, mu in 10.0f64..20.0, c in 1usize..8, scv in 0.0f64..4.0) {
+        for m in [
+            mm1(lambda, mu).unwrap(),
+            mmc(lambda, mu, c).unwrap(),
+            mg1(lambda, 1.0 / mu, scv).unwrap(),
+        ] {
+            prop_assert!((m.mean_jobs - lambda * m.mean_response).abs() < 1e-9);
+            prop_assert!(m.mean_wait >= -1e-12);
+            prop_assert!(m.mean_response >= m.mean_wait);
+        }
+    }
+
+    /// The event engine delivers every event exactly once, in time order.
+    #[test]
+    fn engine_delivers_in_order(delays in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut eng: Engine<usize> = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            eng.schedule(SimDuration::from_nanos(d), i);
+        }
+        let mut seen = vec![false; delays.len()];
+        let mut last = 0u64;
+        while let Some((t, ev)) = eng.next() {
+            prop_assert!(t.as_nanos() >= last);
+            last = t.as_nanos();
+            prop_assert!(!seen[ev], "event {ev} delivered twice");
+            seen[ev] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Welford tally agrees with direct two-pass computation.
+    #[test]
+    fn tally_matches_two_pass(data in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut tally = Tally::new();
+        for &x in &data {
+            tally.record(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        prop_assert!((tally.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((tally.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(data in proptest::collection::vec(-1e3f64..1e3, 1..100), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&data, lo);
+        let b = percentile(&data, hi);
+        prop_assert!(a <= b + 1e-12);
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
+    }
+}
