@@ -1,11 +1,12 @@
-//! Criterion micro-benchmarks for the substrate and the end-to-end
-//! modeling pipeline. These are performance benchmarks (ns/op), not the
-//! paper-reproduction experiments — those live in `src/bin/`.
+//! Micro-benchmarks for the substrate and the end-to-end modeling
+//! pipeline, on the in-repo `kooza_bench::harness` (see that module for
+//! modes and JSON output). These are performance benchmarks (ns/op), not
+//! the paper-reproduction experiments — those live in `src/bin/`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use kooza::{Kooza, WorkloadModel};
+use kooza_bench::harness::Harness;
 use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
 use kooza_markov::{GaussianHmm, MarkovChainBuilder};
 use kooza_queueing::arrival::PoissonArrivals;
@@ -17,8 +18,8 @@ use kooza_stats::fit::FitPipeline;
 use kooza_stats::ks::ks_one_sample;
 use kooza_stats::pca::Pca;
 
-fn bench_sim_engine(c: &mut Criterion) {
-    c.bench_function("sim_engine_100k_events", |b| {
+fn bench_sim_engine(h: &mut Harness) {
+    h.bench_function("sim_engine_100k_events", |b| {
         b.iter(|| {
             let mut eng: Engine<u64> = Engine::new();
             for i in 0..1000u64 {
@@ -36,8 +37,8 @@ fn bench_sim_engine(c: &mut Criterion) {
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng_next_f64_1k", |b| {
+fn bench_rng(h: &mut Harness) {
+    h.bench_function("rng_next_f64_1k", |b| {
         let mut rng = Rng64::new(1);
         b.iter(|| {
             let mut acc = 0.0;
@@ -49,28 +50,37 @@ fn bench_rng(c: &mut Criterion) {
     });
 }
 
-fn bench_ks_test(c: &mut Criterion) {
+fn bench_ks_test(h: &mut Harness) {
     let d = Exponential::new(1.0).unwrap();
     let mut rng = Rng64::new(2);
     let data: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
-    c.bench_function("ks_one_sample_10k", |b| {
+    h.bench_function("ks_one_sample_10k", |b| {
         b.iter(|| black_box(ks_one_sample(&data, &d).unwrap().statistic))
     });
 }
 
-fn bench_fit_pipeline(c: &mut Criterion) {
+fn bench_ad_test(h: &mut Harness) {
+    let d = Exponential::new(1.0).unwrap();
+    let mut rng = Rng64::new(13);
+    let data: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+    h.bench_function("anderson_darling_10k", |b| {
+        b.iter(|| black_box(kooza_stats::ad::ad_one_sample(&data, &d).unwrap().statistic))
+    });
+}
+
+fn bench_fit_pipeline(h: &mut Harness) {
     let d = LogNormal::new(0.0, 0.8).unwrap();
     let mut rng = Rng64::new(3);
     let data: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
-    c.bench_function("fit_pipeline_standard_5k", |b| {
+    h.bench_function("fit_pipeline_standard_5k", |b| {
         b.iter(|| black_box(FitPipeline::standard().run(&data).unwrap().best().family))
     });
 }
 
-fn bench_markov_train_generate(c: &mut Criterion) {
+fn bench_markov_train_generate(h: &mut Harness) {
     let mut rng = Rng64::new(4);
     let seq: Vec<usize> = (0..100_000).map(|_| rng.next_bounded(16) as usize).collect();
-    c.bench_function("markov_train_100k", |b| {
+    h.bench_function("markov_train_100k", |b| {
         b.iter(|| {
             let mut builder = MarkovChainBuilder::new(16);
             for w in seq.windows(2) {
@@ -84,13 +94,13 @@ fn bench_markov_train_generate(c: &mut Criterion) {
         builder.record_transition(w[0], w[1]);
     }
     let chain = builder.build().unwrap();
-    c.bench_function("markov_generate_10k", |b| {
+    h.bench_function("markov_generate_10k", |b| {
         let mut rng = Rng64::new(5);
         b.iter(|| black_box(chain.generate(10_000, &mut rng)))
     });
 }
 
-fn bench_hmm_baum_welch(c: &mut Criterion) {
+fn bench_hmm_baum_welch(h: &mut Harness) {
     let source = GaussianHmm::new(
         vec![vec![0.95, 0.05], vec![0.05, 0.95]],
         vec![0.5, 0.5],
@@ -100,7 +110,7 @@ fn bench_hmm_baum_welch(c: &mut Criterion) {
     .unwrap();
     let mut rng = Rng64::new(6);
     let (_, obs) = source.generate(2_000, &mut rng);
-    c.bench_function("gaussian_hmm_em_step_2k", |b| {
+    h.bench_function("gaussian_hmm_em_step_2k", |b| {
         b.iter_batched(
             || {
                 let mut rng = Rng64::new(7);
@@ -110,23 +120,22 @@ fn bench_hmm_baum_welch(c: &mut Criterion) {
                 model.train(&obs, 1, 1e-12).unwrap();
                 black_box(model)
             },
-            BatchSize::SmallInput,
         )
     });
 }
 
-fn bench_pca(c: &mut Criterion) {
+fn bench_pca(h: &mut Harness) {
     let mut rng = Rng64::new(8);
     let rows: Vec<Vec<f64>> = (0..2_000)
         .map(|_| (0..8).map(|_| rng.next_f64()).collect())
         .collect();
-    c.bench_function("pca_fit_2000x8", |b| {
+    h.bench_function("pca_fit_2000x8", |b| {
         b.iter(|| black_box(Pca::fit(&rows).unwrap()))
     });
 }
 
-fn bench_queueing_network(c: &mut Criterion) {
-    c.bench_function("mm1_network_sim_20k_jobs", |b| {
+fn bench_queueing_network(h: &mut Harness) {
+    h.bench_function("mm1_network_sim_20k_jobs", |b| {
         b.iter(|| {
             let config = NetworkConfig::tandem(vec![NodeConfig {
                 name: "q".into(),
@@ -140,43 +149,9 @@ fn bench_queueing_network(c: &mut Criterion) {
     });
 }
 
-fn bench_gfs_cluster(c: &mut Criterion) {
-    c.bench_function("gfs_simulate_2k_requests", |b| {
-        b.iter(|| {
-            let mut config = ClusterConfig::small();
-            config.workload = WorkloadMix::read_heavy();
-            let mut cluster = Cluster::new(config).unwrap();
-            black_box(cluster.run(2_000, 10).stats.completed)
-        })
-    });
-}
-
-fn bench_kooza_pipeline(c: &mut Criterion) {
-    let mut config = ClusterConfig::small();
-    config.workload = WorkloadMix::read_heavy();
-    let trace = Cluster::new(config).unwrap().run(1_000, 11).trace;
-    c.bench_function("kooza_fit_1k_requests", |b| {
-        b.iter(|| black_box(Kooza::fit(&trace).unwrap().trained_requests()))
-    });
-    let model = Kooza::fit(&trace).unwrap();
-    c.bench_function("kooza_generate_1k", |b| {
-        let mut rng = Rng64::new(12);
-        b.iter(|| black_box(model.generate(1_000, &mut rng).len()))
-    });
-}
-
-fn bench_ad_test(c: &mut Criterion) {
-    let d = Exponential::new(1.0).unwrap();
-    let mut rng = Rng64::new(13);
-    let data: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
-    c.bench_function("anderson_darling_10k", |b| {
-        b.iter(|| black_box(kooza_stats::ad::ad_one_sample(&data, &d).unwrap().statistic))
-    });
-}
-
-fn bench_mva(c: &mut Criterion) {
+fn bench_mva(h: &mut Harness) {
     let demands = [0.01, 0.02, 0.005, 0.03];
-    c.bench_function("closed_mva_500_customers", |b| {
+    h.bench_function("closed_mva_500_customers", |b| {
         b.iter(|| {
             black_box(
                 kooza_queueing::mva::closed_mva(500, 1.0, &demands)
@@ -187,19 +162,44 @@ fn bench_mva(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_sim_engine,
-    bench_rng,
-    bench_ks_test,
-    bench_ad_test,
-    bench_fit_pipeline,
-    bench_markov_train_generate,
-    bench_hmm_baum_welch,
-    bench_pca,
-    bench_queueing_network,
-    bench_mva,
-    bench_gfs_cluster,
-    bench_kooza_pipeline,
-);
-criterion_main!(benches);
+fn bench_gfs_cluster(h: &mut Harness) {
+    h.bench_function("gfs_simulate_2k_requests", |b| {
+        b.iter(|| {
+            let mut config = ClusterConfig::small();
+            config.workload = WorkloadMix::read_heavy();
+            let mut cluster = Cluster::new(config).unwrap();
+            black_box(cluster.run(2_000, 10).stats.completed)
+        })
+    });
+}
+
+fn bench_kooza_pipeline(h: &mut Harness) {
+    let mut config = ClusterConfig::small();
+    config.workload = WorkloadMix::read_heavy();
+    let trace = Cluster::new(config).unwrap().run(1_000, 11).trace;
+    h.bench_function("kooza_fit_1k_requests", |b| {
+        b.iter(|| black_box(Kooza::fit(&trace).unwrap().trained_requests()))
+    });
+    let model = Kooza::fit(&trace).unwrap();
+    h.bench_function("kooza_generate_1k", |b| {
+        let mut rng = Rng64::new(12);
+        b.iter(|| black_box(model.generate(1_000, &mut rng).len()))
+    });
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    bench_sim_engine(&mut h);
+    bench_rng(&mut h);
+    bench_ks_test(&mut h);
+    bench_ad_test(&mut h);
+    bench_fit_pipeline(&mut h);
+    bench_markov_train_generate(&mut h);
+    bench_hmm_baum_welch(&mut h);
+    bench_pca(&mut h);
+    bench_queueing_network(&mut h);
+    bench_mva(&mut h);
+    bench_gfs_cluster(&mut h);
+    bench_kooza_pipeline(&mut h);
+    h.finish();
+}

@@ -1,0 +1,265 @@
+//! Minimal in-repo micro-benchmark harness (criterion replacement).
+//!
+//! The workspace builds fully offline, so the benchmarks cannot depend on
+//! an external harness. This module provides the small slice of criterion
+//! we actually use: named benchmark functions, a warmup phase, repeated
+//! timed samples, and median/p95 reporting, plus machine-readable JSON.
+//!
+//! Modes:
+//! - `cargo bench` passes `--bench` to the binary → full mode
+//!   (measured samples sized for stable medians).
+//! - `cargo test --benches` passes `--test`, and a bare run passes
+//!   nothing → quick smoke mode (1 warmup + 3 samples) so the benchmarks
+//!   double as cheap integration tests.
+//! - `KOOZA_BENCH_FULL=1` forces full mode regardless of flags.
+//! - `KOOZA_BENCH_JSON=<path>` additionally writes the results as a JSON
+//!   array to `<path>`.
+//!
+//! A positional (non-flag) command-line argument acts as a substring
+//! filter on benchmark names, matching cargo's usual filtering UX.
+
+use std::time::Instant;
+
+use kooza_json::{Json, ToJson};
+
+/// One benchmark's measured timings, in nanoseconds per sample.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name as passed to [`Harness::bench_function`].
+    pub name: String,
+    /// Number of measured samples (excluding warmup).
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_nanos: f64,
+    /// Median sample.
+    pub median_nanos: f64,
+    /// 95th-percentile sample.
+    pub p95_nanos: f64,
+    /// Mean over samples.
+    pub mean_nanos: f64,
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("samples".into(), Json::U64(self.samples as u64)),
+            ("min_nanos".into(), Json::F64(self.min_nanos)),
+            ("median_nanos".into(), Json::F64(self.median_nanos)),
+            ("p95_nanos".into(), Json::F64(self.p95_nanos)),
+            ("mean_nanos".into(), Json::F64(self.mean_nanos)),
+        ])
+    }
+}
+
+/// Collects and runs benchmarks; create with [`Harness::from_args`].
+pub struct Harness {
+    full: bool,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments (see module docs for
+    /// the flags cargo passes) and the `KOOZA_BENCH_*` environment.
+    pub fn from_args() -> Self {
+        let mut saw_bench = false;
+        let mut saw_test = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => saw_bench = true,
+                "--test" => saw_test = true,
+                a if a.starts_with('-') => {} // ignore unknown flags (e.g. --nocapture)
+                a => filter = Some(a.to_string()),
+            }
+        }
+        // `--test` wins over `--bench` whatever the order: cargo appends
+        // `--bench` to bench-target invocations, so `cargo bench -- --test`
+        // sees both and should still smoke-run.
+        let mut full = saw_bench && !saw_test;
+        if std::env::var("KOOZA_BENCH_FULL").map(|v| v == "1").unwrap_or(false) {
+            full = true;
+        }
+        Harness { full, filter, results: Vec::new() }
+    }
+
+    /// Number of warmup iterations before measurement starts.
+    fn warmup_iters(&self) -> usize {
+        if self.full { 10 } else { 1 }
+    }
+
+    /// Number of measured samples.
+    fn sample_count(&self) -> usize {
+        if self.full { 30 } else { 3 }
+    }
+
+    /// Runs one named benchmark. The closure receives a [`Bencher`] and
+    /// must call [`Bencher::iter`] or [`Bencher::iter_batched`] exactly
+    /// once, mirroring criterion's `bench_function` contract.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warmup: self.warmup_iters(),
+            samples: self.sample_count(),
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        assert!(
+            !b.durations.is_empty(),
+            "benchmark {name} never called iter()/iter_batched()"
+        );
+        let mut sorted = b.durations.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let median_nanos = sorted[n / 2] as f64;
+        let p95_nanos = sorted[((n as f64 * 0.95) as usize).min(n - 1)] as f64;
+        let mean_nanos = sorted.iter().sum::<u64>() as f64 / n as f64;
+        let result = BenchResult {
+            name: name.to_string(),
+            samples: n,
+            min_nanos: sorted[0] as f64,
+            median_nanos,
+            p95_nanos,
+            mean_nanos,
+        };
+        println!(
+            "{:<32} median {:>14}  p95 {:>14}  ({} samples)",
+            result.name,
+            fmt_nanos(result.median_nanos),
+            fmt_nanos(result.p95_nanos),
+            result.samples
+        );
+        self.results.push(result);
+    }
+
+    /// Prints the closing summary and writes the JSON report if
+    /// `KOOZA_BENCH_JSON` is set. Call once, after all benchmarks.
+    pub fn finish(self) {
+        let mode = if self.full { "full" } else { "quick" };
+        println!(
+            "\n{} benchmark(s) done ({mode} mode{})",
+            self.results.len(),
+            if self.full { "" } else { "; run `cargo bench` or set KOOZA_BENCH_FULL=1 for stable numbers" }
+        );
+        if let Ok(path) = std::env::var("KOOZA_BENCH_JSON") {
+            let json = Json::Array(self.results.iter().map(ToJson::to_json).collect());
+            std::fs::write(&path, kooza_json::to_string(&json))
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote JSON report to {path}");
+        }
+    }
+}
+
+/// Timing context handed to each benchmark body.
+pub struct Bencher {
+    warmup: usize,
+    samples: usize,
+    durations: Vec<u64>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample, after the warmup runs. Keep any
+    /// result observable with [`std::hint::black_box`] in the caller.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.durations.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Like [`Bencher::iter`], but rebuilds the input with `setup` before
+    /// every run, outside the timed region — for routines that consume or
+    /// mutate their input.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        for _ in 0..self.warmup {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.durations.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Human-readable duration with ns/µs/ms/s units.
+fn fmt_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.0} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_one_duration_per_sample() {
+        let mut b = Bencher { warmup: 2, samples: 5, durations: Vec::new() };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 7); // 2 warmup + 5 measured
+        assert_eq!(b.durations.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_reruns_setup_every_sample() {
+        let mut b = Bencher { warmup: 1, samples: 4, durations: Vec::new() };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |mut v| {
+                v.push(2);
+                v
+            },
+        );
+        assert_eq!(setups, 5); // 1 warmup + 4 measured
+        assert_eq!(b.durations.len(), 4);
+    }
+
+    #[test]
+    fn fmt_nanos_picks_units() {
+        assert_eq!(fmt_nanos(500.0), "500 ns");
+        assert_eq!(fmt_nanos(1_500.0), "1.50 µs");
+        assert_eq!(fmt_nanos(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_nanos(3_000_000_000.0), "3.00 s");
+    }
+
+    #[test]
+    fn results_serialize_to_json() {
+        let r = BenchResult {
+            name: "demo".into(),
+            samples: 3,
+            min_nanos: 1.0,
+            median_nanos: 2.0,
+            p95_nanos: 3.0,
+            mean_nanos: 2.0,
+        };
+        let s = kooza_json::to_string(&r.to_json());
+        assert!(s.starts_with("{\"name\":\"demo\",\"samples\":3,"), "{s}");
+    }
+}

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use kooza_gfs::{Cluster, ClusterConfig, ClusterOutcome, WorkloadMix};
 
 /// The seed every experiment uses unless it sweeps seeds explicitly.

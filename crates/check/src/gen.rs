@@ -1,0 +1,435 @@
+//! Value generators with built-in shrinking.
+//!
+//! A [`Gen<T>`] pairs a deterministic sampling function (driven by
+//! [`Rng64`]) with a shrinker proposing simplified candidates: scalars
+//! halve toward their lower bound, vectors halve and drop elements. The
+//! combinators here cover what the workspace's properties need; compose
+//! tuples with [`zip2`]..[`zip6`].
+
+use std::rc::Rc;
+
+use kooza_sim::rng::Rng64;
+
+/// A generator of `T` values plus a shrinker for failing inputs.
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut Rng64) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { generate: Rc::clone(&self.generate), shrink: Rc::clone(&self.shrink) }
+    }
+}
+
+impl<T> std::fmt::Debug for Gen<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Gen")
+    }
+}
+
+impl<T> Gen<T> {
+    /// Samples one value.
+    pub fn generate(&self, rng: &mut Rng64) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Proposes simplified candidates for a failing value.
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Builds a generator from a sampling function and a shrinker. The
+    /// shrinker must only propose candidates *different from* (and simpler
+    /// than) its input, or shrinking will not terminate early.
+    pub fn new(
+        generate: impl Fn(&mut Rng64) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen { generate: Rc::new(generate), shrink: Rc::new(shrink) }
+    }
+
+    /// Transforms generated values (shrinking maps the *source* and
+    /// re-projects, so the mapping must be cheap and deterministic).
+    pub fn map<U: 'static>(self, f: impl Fn(&T) -> U + 'static) -> Gen<U>
+    where
+        T: Clone,
+    {
+        // Shrinking through an opaque map is not possible without an
+        // inverse; keep the mapped generator shrink-free.
+        let g = self.clone();
+        Gen::new(move |rng| f(&g.generate(rng)), |_| Vec::new())
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward `lo` by halving.
+///
+/// # Panics
+///
+/// Panics if the range is empty or not finite.
+pub fn f64_range(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad f64 range [{lo}, {hi})");
+    Gen::new(
+        move |rng| lo + (hi - lo) * rng.next_f64(),
+        move |&v| {
+            let mut out = Vec::new();
+            for c in [lo, lo + (v - lo) / 2.0] {
+                if c != v && (lo..hi).contains(&c) {
+                    out.push(c);
+                }
+            }
+            out.dedup();
+            out
+        },
+    )
+}
+
+/// Uniform `u64` in `[lo, hi)`; shrinks toward `lo`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn u64_range(lo: u64, hi: u64) -> Gen<u64> {
+    assert!(lo < hi, "bad u64 range [{lo}, {hi})");
+    Gen::new(
+        move |rng| rng.next_range(lo, hi),
+        move |&v| {
+            let mut out = Vec::new();
+            for c in [lo, lo + (v - lo) / 2, v.saturating_sub(1)] {
+                if c != v && c >= lo && !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Uniform `u32` in `[lo, hi)`; shrinks toward `lo`.
+pub fn u32_range(lo: u32, hi: u32) -> Gen<u32> {
+    let inner = u64_range(u64::from(lo), u64::from(hi));
+    let g = inner.clone();
+    Gen::new(
+        move |rng| g.generate(rng) as u32,
+        move |&v| inner.shrink(&u64::from(v)).into_iter().map(|c| c as u32).collect(),
+    )
+}
+
+/// Uniform `usize` in `[lo, hi)`; shrinks toward `lo`.
+pub fn usize_range(lo: usize, hi: usize) -> Gen<usize> {
+    let inner = u64_range(lo as u64, hi as u64);
+    let g = inner.clone();
+    Gen::new(
+        move |rng| g.generate(rng) as usize,
+        move |&v| inner.shrink(&(v as u64)).into_iter().map(|c| c as usize).collect(),
+    )
+}
+
+/// One of the listed values, uniformly; shrinks toward earlier entries.
+///
+/// The analogue of `prop_oneof![Just(a), Just(b), ...]`.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn choice<T: Clone + PartialEq + 'static>(options: Vec<T>) -> Gen<T> {
+    assert!(!options.is_empty(), "choice of nothing");
+    let opts = options.clone();
+    Gen::new(
+        move |rng| rng.choose(&opts).clone(),
+        move |v| {
+            options
+                .iter()
+                .take_while(|o| *o != v)
+                .cloned()
+                .collect()
+        },
+    )
+}
+
+/// A vector of `len ∈ [min_len, max_len]` elements; shrinks by halving,
+/// dropping single elements, and shrinking elements in place.
+///
+/// # Panics
+///
+/// Panics if `min_len > max_len`.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    assert!(min_len <= max_len, "bad length range [{min_len}, {max_len}]");
+    let gen_elem = elem.clone();
+    Gen::new(
+        move |rng| {
+            let len = if min_len == max_len {
+                min_len
+            } else {
+                rng.next_range(min_len as u64, max_len as u64 + 1) as usize
+            };
+            (0..len).map(|_| gen_elem.generate(rng)).collect()
+        },
+        move |v: &Vec<T>| {
+            let mut out: Vec<Vec<T>> = Vec::new();
+            // Halves first: the fastest descent.
+            if v.len() / 2 >= min_len && v.len() > min_len {
+                out.push(v[..v.len() / 2].to_vec());
+                out.push(v[v.len() - v.len() / 2..].to_vec());
+            }
+            // Then single removals.
+            if v.len() > min_len {
+                for i in 0..v.len() {
+                    let mut smaller = v.clone();
+                    smaller.remove(i);
+                    out.push(smaller);
+                }
+            }
+            // Then element-wise simplification.
+            for i in 0..v.len() {
+                for candidate in elem.shrink(&v[i]) {
+                    let mut simpler = v.clone();
+                    simpler[i] = candidate;
+                    out.push(simpler);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Pairs two generators.
+pub fn zip2<A, B>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+{
+    let (ga, gb) = (a.clone(), b.clone());
+    Gen::new(
+        move |rng| (ga.generate(rng), gb.generate(rng)),
+        move |v: &(A, B)| {
+            let mut out = Vec::new();
+            for ca in a.shrink(&v.0) {
+                out.push((ca, v.1.clone()));
+            }
+            for cb in b.shrink(&v.1) {
+                out.push((v.0.clone(), cb));
+            }
+            out
+        },
+    )
+}
+
+/// Combines three generators.
+pub fn zip3<A, B, C>(a: Gen<A>, b: Gen<B>, c: Gen<C>) -> Gen<(A, B, C)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+{
+    let inner = zip2(zip2(a, b), c);
+    let g = inner.clone();
+    Gen::new(
+        move |rng| {
+            let ((a, b), c) = g.generate(rng);
+            (a, b, c)
+        },
+        move |v: &(A, B, C)| {
+            let nested = ((v.0.clone(), v.1.clone()), v.2.clone());
+            inner
+                .shrink(&nested)
+                .into_iter()
+                .map(|((a, b), c)| (a, b, c))
+                .collect()
+        },
+    )
+}
+
+/// Combines four generators.
+pub fn zip4<A, B, C, D>(a: Gen<A>, b: Gen<B>, c: Gen<C>, d: Gen<D>) -> Gen<(A, B, C, D)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+    D: Clone + 'static,
+{
+    let inner = zip2(zip2(a, b), zip2(c, d));
+    let g = inner.clone();
+    Gen::new(
+        move |rng| {
+            let ((a, b), (c, d)) = g.generate(rng);
+            (a, b, c, d)
+        },
+        move |v: &(A, B, C, D)| {
+            let nested = ((v.0.clone(), v.1.clone()), (v.2.clone(), v.3.clone()));
+            inner
+                .shrink(&nested)
+                .into_iter()
+                .map(|((a, b), (c, d))| (a, b, c, d))
+                .collect()
+        },
+    )
+}
+
+/// Combines five generators.
+pub fn zip5<A, B, C, D, E>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+    e: Gen<E>,
+) -> Gen<(A, B, C, D, E)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+    D: Clone + 'static,
+    E: Clone + 'static,
+{
+    let inner = zip2(zip4(a, b, c, d), e);
+    let g = inner.clone();
+    Gen::new(
+        move |rng| {
+            let ((a, b, c, d), e) = g.generate(rng);
+            (a, b, c, d, e)
+        },
+        move |v: &(A, B, C, D, E)| {
+            let nested = ((v.0.clone(), v.1.clone(), v.2.clone(), v.3.clone()), v.4.clone());
+            inner
+                .shrink(&nested)
+                .into_iter()
+                .map(|((a, b, c, d), e)| (a, b, c, d, e))
+                .collect()
+        },
+    )
+}
+
+/// Combines six generators.
+#[allow(clippy::type_complexity)]
+pub fn zip6<A, B, C, D, E, F>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+    e: Gen<E>,
+    f: Gen<F>,
+) -> Gen<(A, B, C, D, E, F)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+    D: Clone + 'static,
+    E: Clone + 'static,
+    F: Clone + 'static,
+{
+    let inner = zip2(zip4(a, b, c, d), zip2(e, f));
+    let g = inner.clone();
+    Gen::new(
+        move |rng| {
+            let ((a, b, c, d), (e, f)) = g.generate(rng);
+            (a, b, c, d, e, f)
+        },
+        move |v: &(A, B, C, D, E, F)| {
+            let nested = (
+                (v.0.clone(), v.1.clone(), v.2.clone(), v.3.clone()),
+                (v.4.clone(), v.5.clone()),
+            );
+            inner
+                .shrink(&nested)
+                .into_iter()
+                .map(|((a, b, c, d), (e, f))| (a, b, c, d, e, f))
+                .collect()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng64 {
+        Rng64::new(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        let g = f64_range(-2.0, 3.0);
+        for _ in 0..1000 {
+            let v = g.generate(&mut r);
+            assert!((-2.0..3.0).contains(&v), "{v}");
+        }
+        let g = u64_range(5, 10);
+        for _ in 0..1000 {
+            let v = g.generate(&mut r);
+            assert!((5..10).contains(&v), "{v}");
+        }
+        let g = usize_range(0, 3);
+        for _ in 0..100 {
+            assert!(g.generate(&mut r) < 3);
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_move_toward_lower_bound() {
+        let g = u64_range(2, 1000);
+        for c in g.shrink(&800) {
+            assert!((2..800).contains(&c), "{c}");
+        }
+        assert!(g.shrink(&2).is_empty());
+        let g = f64_range(0.5, 2.0);
+        for c in g.shrink(&1.5) {
+            assert!((0.5..1.5).contains(&c), "{c}");
+        }
+    }
+
+    #[test]
+    fn choice_samples_all_options() {
+        let g = choice(vec![1u32, 7, 50]);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(g.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 3);
+        assert_eq!(g.shrink(&50), vec![1, 7]);
+        assert!(g.shrink(&1).is_empty());
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds_and_shrink_shorter() {
+        let g = vec_of(u64_range(0, 10), 2, 6);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = g.generate(&mut r);
+            assert!((2..=6).contains(&v.len()), "len {}", v.len());
+        }
+        let candidates = g.shrink(&vec![1, 2, 3, 4, 5, 6]);
+        assert!(candidates.iter().all(|c| c.len() >= 2));
+        assert!(candidates.iter().any(|c| c.len() < 6));
+    }
+
+    #[test]
+    fn zips_shrink_one_component_at_a_time() {
+        let g = zip3(u64_range(0, 10), u64_range(0, 10), u64_range(0, 10));
+        for (a, b, c) in g.shrink(&(5, 6, 7)) {
+            let changed = [(a, 5u64), (b, 6), (c, 7)]
+                .iter()
+                .filter(|(now, was)| now != was)
+                .count();
+            assert_eq!(changed, 1, "({a},{b},{c})");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = zip6(
+            f64_range(0.0, 1.0),
+            f64_range(0.0, 1.0),
+            u64_range(0, 9),
+            u64_range(0, 9),
+            usize_range(0, 9),
+            u32_range(0, 9),
+        );
+        let a = g.generate(&mut Rng64::new(7));
+        let b = g.generate(&mut Rng64::new(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,322 @@
+//! Deterministic property-based testing without external crates.
+//!
+//! A drop-in replacement for the slice of `proptest` this workspace used:
+//! seeded, reproducible, and hermetic. Properties run a fixed number of
+//! generated cases from a deterministic [`Rng64`] stream, so a green run
+//! is green on every machine — there is no global entropy source.
+//!
+//! ```
+//! use kooza_check::{checker, ensure, gen};
+//!
+//! checker("addition_commutes").run(
+//!     gen::zip2(gen::u64_range(0, 1000), gen::u64_range(0, 1000)),
+//!     |&(a, b)| {
+//!         ensure!(a + b == b + a, "{a} + {b} not commutative");
+//!         Ok(())
+//!     },
+//! );
+//! ```
+//!
+//! * **Case counts** come from `KOOZA_CHECK_CASES` (default 64), clamped
+//!   per-property with [`Checker::cases`].
+//! * **Reproduction**: a failure panics with the case seed; re-run with
+//!   `KOOZA_CHECK_SEED=<seed>` to start from the failing case.
+//! * **Shrinking** is greedy: generators propose simplified candidates
+//!   (halved scalars, halved vectors, element-wise simplification) and the
+//!   harness descends while the property keeps failing.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gen;
+
+pub use gen::Gen;
+
+use kooza_sim::rng::Rng64;
+
+/// Why a single property case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseResult {
+    /// The input did not satisfy the property's preconditions; the case is
+    /// not counted. Produced by [`assume!`].
+    Discard,
+    /// The property failed with this message. Produced by [`ensure!`].
+    Fail(String),
+}
+
+/// Result alias for property bodies.
+pub type PropResult = Result<(), CaseResult>;
+
+/// Fails the property with a formatted message unless `cond` holds.
+///
+/// The analogue of `proptest`'s `prop_assert!`.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        $crate::ensure!($cond, stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::CaseResult::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the property unless the two expressions compare equal.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::ensure!(a == b, "{a:?} != {b:?} ({} vs {})", stringify!($a), stringify!($b));
+    }};
+}
+
+/// Discards the current case unless the precondition holds.
+///
+/// The analogue of `proptest`'s `prop_assume!`.
+#[macro_export]
+macro_rules! assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::CaseResult::Discard);
+        }
+    };
+}
+
+/// Builds a [`Checker`] for a named property, reading the environment
+/// configuration.
+pub fn checker(name: &str) -> Checker {
+    Checker::new(name)
+}
+
+/// Runs one property over generated cases.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    name: String,
+    cases: u32,
+    base_seed: u64,
+    seed_pinned: bool,
+    max_shrink_steps: u32,
+}
+
+/// Default cases per property when `KOOZA_CHECK_CASES` is unset. Low
+/// enough that the full workspace suite stays fast; raise the env var for
+/// soak runs.
+const DEFAULT_CASES: u32 = 64;
+
+/// Each property derives its own seed stream from the base seed and its
+/// name, so adding a property never perturbs another's cases.
+fn name_hash(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl Checker {
+    /// A checker configured from the environment (`KOOZA_CHECK_CASES`,
+    /// `KOOZA_CHECK_SEED`).
+    pub fn new(name: &str) -> Self {
+        let cases = std::env::var("KOOZA_CHECK_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES)
+            .max(1);
+        let (base_seed, seed_pinned) = match std::env::var("KOOZA_CHECK_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            Some(seed) => (seed, true),
+            None => (name_hash(name), false),
+        };
+        Checker {
+            name: name.into(),
+            cases,
+            base_seed,
+            seed_pinned,
+            max_shrink_steps: 4096,
+        }
+    }
+
+    /// Caps the number of cases (expensive properties run fewer); the
+    /// analogue of `ProptestConfig::with_cases`. `KOOZA_CHECK_CASES` still
+    /// lowers — but never raises — a per-property cap.
+    pub fn cases(mut self, n: u32) -> Self {
+        self.cases = self.cases.min(n.max(1));
+        self
+    }
+
+    /// Runs the property over every generated case, shrinking and then
+    /// panicking on the first failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the shrunken counterexample, its failure message, and
+    /// the reproduction seed if any case fails, or if too many cases are
+    /// discarded by [`assume!`].
+    pub fn run<T: Clone + std::fmt::Debug>(
+        &self,
+        gen: Gen<T>,
+        mut prop: impl FnMut(&T) -> PropResult,
+    ) {
+        let mut discards = 0u32;
+        let max_discards = self.cases.saturating_mul(16).max(256);
+        let mut case = 0u32;
+        let mut attempt = 0u64;
+        while case < self.cases {
+            // When the seed is pinned we replay the exact stream it names;
+            // otherwise each case gets an independent derived seed we can
+            // report on failure.
+            let case_seed = self.base_seed.wrapping_add(attempt);
+            attempt += 1;
+            let mut rng = Rng64::new(case_seed);
+            let value = gen.generate(&mut rng);
+            match prop(&value) {
+                Ok(()) => case += 1,
+                Err(CaseResult::Discard) => {
+                    discards += 1;
+                    assert!(
+                        discards < max_discards,
+                        "property `{}`: too many discarded cases ({discards}); \
+                         weaken the assume! or widen the generators",
+                        self.name
+                    );
+                }
+                Err(CaseResult::Fail(message)) => {
+                    let (value, message) = self.shrink(&gen, &mut prop, value, message);
+                    panic!(
+                        "property `{}` failed after {case} passing case(s)\n\
+                         counterexample: {value:?}\n\
+                         failure: {message}\n\
+                         reproduce with: KOOZA_CHECK_SEED={case_seed}{}",
+                        self.name,
+                        if self.seed_pinned { " (seed was pinned)" } else { "" },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Greedy shrink: repeatedly adopt the first simplified candidate that
+    /// still fails the property.
+    fn shrink<T: Clone + std::fmt::Debug>(
+        &self,
+        gen: &Gen<T>,
+        prop: &mut impl FnMut(&T) -> PropResult,
+        mut value: T,
+        mut message: String,
+    ) -> (T, String) {
+        let mut steps = 0u32;
+        'outer: while steps < self.max_shrink_steps {
+            for candidate in gen.shrink(&value) {
+                steps += 1;
+                if let Err(CaseResult::Fail(m)) = prop(&candidate) {
+                    value = candidate;
+                    message = m;
+                    continue 'outer;
+                }
+                if steps >= self.max_shrink_steps {
+                    break;
+                }
+            }
+            break;
+        }
+        (value, message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{u64_range, vec_of, zip2};
+
+    #[test]
+    fn passing_property_runs_quietly() {
+        checker("sum_is_monotone").run(
+            zip2(u64_range(0, 100), u64_range(0, 100)),
+            |&(a, b)| {
+                ensure!(a + b >= a, "overflowed");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_and_counterexample() {
+        let err = std::panic::catch_unwind(|| {
+            checker("always_small").run(u64_range(0, 1000), |&v| {
+                ensure!(v < 10, "{v} too big");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("panic carries a String");
+        assert!(msg.contains("KOOZA_CHECK_SEED="), "{msg}");
+        assert!(msg.contains("counterexample"), "{msg}");
+        // Shrinking drives the scalar to the smallest failing value.
+        assert!(msg.contains("counterexample: 10\n"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_vectors() {
+        let err = std::panic::catch_unwind(|| {
+            checker("no_nines").run(vec_of(u64_range(0, 10), 0, 40), |v: &Vec<u64>| {
+                ensure!(!v.contains(&9), "found a nine in {v:?}");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("panic carries a String");
+        // Minimal counterexample: exactly the single offending element.
+        assert!(msg.contains("counterexample: [9]"), "{msg}");
+    }
+
+    #[test]
+    fn assume_discards_without_failing() {
+        let mut ran = 0u32;
+        checker("assume_filters").cases(16).run(u64_range(0, 100), |&v| {
+            assume!(v % 2 == 0);
+            ran += 1;
+            ensure!(v % 2 == 0);
+            Ok(())
+        });
+        assert!(ran >= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many discarded cases")]
+    fn impossible_assume_reports() {
+        checker("assume_impossible").run(u64_range(0, 100), |_| {
+            assume!(false);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut seen = Vec::new();
+            checker("determinism").cases(8).run(u64_range(0, 1_000_000), |&v| {
+                seen.push(v);
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn ensure_eq_formats_both_sides() {
+        let r: PropResult = (|| {
+            ensure_eq!(1 + 1, 3);
+            Ok(())
+        })();
+        match r {
+            Err(CaseResult::Fail(m)) => assert!(m.contains('2') && m.contains('3'), "{m}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+}

@@ -1,86 +1,102 @@
-//! Invariant tests for the GFS simulator across randomized configurations.
+//! Invariant tests for the GFS simulator across randomized
+//! configurations, on the deterministic in-repo `kooza-check` harness.
 
-use proptest::prelude::*;
+use kooza_check::gen::{choice, u32_range, u64_range, zip2, zip5};
+use kooza_check::{checker, ensure, ensure_eq};
 
 use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Conservation and well-formedness across random workloads: every
+/// request completes exactly once, record counts line up, span trees
+/// are valid, and timestamps are within the makespan.
+#[test]
+fn conservation_and_wellformedness() {
+    checker("conservation_and_wellformedness").cases(24).run(
+        zip5(
+            u64_range(0, 10_000),      // seed
+            u32_range(0, 101),         // read_pct
+            u64_range(1, 5_000),       // n_chunks
+            u32_range(5, 15),          // zipf_x10
+            choice(vec![1u32, 7, 50]), // sampling
+        ),
+        |&(seed, read_pct, n_chunks, zipf_x10, sampling)| {
+            let n_requests = 300u64;
+            let mut config = ClusterConfig::small();
+            config.trace_sampling = sampling;
+            config.workload = WorkloadMix {
+                read_fraction: f64::from(read_pct) / 100.0,
+                n_chunks,
+                zipf_skew: f64::from(zipf_x10) / 10.0,
+                // Keep load stable regardless of mix.
+                mean_interarrival_secs: 0.1,
+                ..WorkloadMix::mixed()
+            };
+            let mut cluster = Cluster::new(config).unwrap();
+            let outcome = cluster.run(n_requests, seed);
 
-    /// Conservation and well-formedness across random workloads: every
-    /// request completes exactly once, record counts line up, span trees
-    /// are valid, and timestamps are within the makespan.
-    #[test]
-    fn conservation_and_wellformedness(
-        seed in 0u64..10_000,
-        read_pct in 0u32..=100,
-        n_chunks in 1u64..5_000,
-        zipf_x10 in 5u32..15,
-        sampling in prop_oneof![Just(1u32), Just(7u32), Just(50u32)],
-    ) {
-        let n_requests = 300u64;
-        let mut config = ClusterConfig::small();
-        config.trace_sampling = sampling;
-        config.workload = WorkloadMix {
-            read_fraction: read_pct as f64 / 100.0,
-            n_chunks,
-            zipf_skew: zipf_x10 as f64 / 10.0,
-            // Keep load stable regardless of mix.
-            mean_interarrival_secs: 0.1,
-            ..WorkloadMix::mixed()
-        };
-        let mut cluster = Cluster::new(config).unwrap();
-        let outcome = cluster.run(n_requests, seed);
+            // Conservation.
+            ensure_eq!(outcome.stats.completed, n_requests);
+            ensure_eq!(outcome.requests.len(), n_requests as usize);
+            ensure_eq!(outcome.trace.cpu.len(), n_requests as usize);
+            // One ingress + one egress per request.
+            ensure_eq!(outcome.trace.network.len(), 2 * n_requests as usize);
+            // Memory touched exactly once per request.
+            ensure_eq!(outcome.trace.memory.len(), n_requests as usize);
+            // Disk at most once per request (cache hits skip it).
+            ensure!(outcome.trace.storage.len() <= n_requests as usize, "extra disk records");
 
-        // Conservation.
-        prop_assert_eq!(outcome.stats.completed, n_requests);
-        prop_assert_eq!(outcome.requests.len(), n_requests as usize);
-        prop_assert_eq!(outcome.trace.cpu.len(), n_requests as usize);
-        // One ingress + one egress per request.
-        prop_assert_eq!(outcome.trace.network.len(), 2 * n_requests as usize);
-        // Memory touched exactly once per request.
-        prop_assert_eq!(outcome.trace.memory.len(), n_requests as usize);
-        // Disk at most once per request (cache hits skip it).
-        prop_assert!(outcome.trace.storage.len() <= n_requests as usize);
+            // Latencies positive; utilizations in range.
+            for r in &outcome.requests {
+                ensure!(r.latency_nanos > 0, "request with zero latency");
+            }
+            for u in outcome
+                .stats
+                .cpu_utilization
+                .iter()
+                .chain(&outcome.stats.disk_utilization)
+            {
+                ensure!((0.0..=1.0 + 1e-9).contains(u), "utilization {u}");
+            }
 
-        // Latencies positive; utilizations in range.
-        for r in &outcome.requests {
-            prop_assert!(r.latency_nanos > 0);
-        }
-        for u in outcome
-            .stats
-            .cpu_utilization
-            .iter()
-            .chain(&outcome.stats.disk_utilization)
-        {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(u), "utilization {u}");
-        }
+            // Span trees valid and only for sampled requests.
+            let sampled = outcome.requests.iter().filter(|r| r.sampled).count();
+            let trees = outcome.trace.span_trees();
+            ensure_eq!(trees.len(), sampled);
+            let makespan_nanos = (outcome.stats.makespan_secs * 1e9) as u64 + 1;
+            for tree in &trees {
+                ensure!(tree.root().name == "request", "root span is {}", tree.root().name);
+                ensure!(tree.root().end_nanos <= makespan_nanos, "span past makespan");
+                let phases = tree.phase_sequence();
+                ensure!(
+                    phases.first().map(|p| *p == "network.in").unwrap_or(false),
+                    "first phase {phases:?}"
+                );
+                ensure!(
+                    phases.last().map(|p| *p == "network.out").unwrap_or(false),
+                    "last phase {phases:?}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-        // Span trees valid and only for sampled requests.
-        let sampled = outcome.requests.iter().filter(|r| r.sampled).count();
-        let trees = outcome.trace.span_trees();
-        prop_assert_eq!(trees.len(), sampled);
-        let makespan_nanos = (outcome.stats.makespan_secs * 1e9) as u64 + 1;
-        for tree in &trees {
-            prop_assert!(tree.root().name == "request");
-            prop_assert!(tree.root().end_nanos <= makespan_nanos);
-            let phases = tree.phase_sequence();
-            prop_assert!(phases.first().map(|p| *p == "network.in").unwrap_or(false));
-            prop_assert!(phases.last().map(|p| *p == "network.out").unwrap_or(false));
-        }
-    }
-
-    /// Replication factor never changes the number of completed requests
-    /// or loses trace records.
-    #[test]
-    fn replication_conserves_requests(replication in 1usize..=3, seed in 0u64..1000) {
-        let mut config = ClusterConfig::cluster(3);
-        config.replication = replication;
-        config.workload = WorkloadMix::write_heavy();
-        config.workload.mean_interarrival_secs = 0.3;
-        let mut cluster = Cluster::new(config).unwrap();
-        let outcome = cluster.run(100, seed);
-        prop_assert_eq!(outcome.stats.completed, 100);
-        prop_assert_eq!(outcome.trace.storage.len(), 100); // primary writes only
-    }
+/// Replication factor never changes the number of completed requests
+/// or loses trace records.
+#[test]
+fn replication_conserves_requests() {
+    checker("replication_conserves_requests").cases(24).run(
+        zip2(choice(vec![1usize, 2, 3]), u64_range(0, 1000)),
+        |&(replication, seed)| {
+            let mut config = ClusterConfig::cluster(3);
+            config.replication = replication;
+            config.workload = WorkloadMix::write_heavy();
+            config.workload.mean_interarrival_secs = 0.3;
+            let mut cluster = Cluster::new(config).unwrap();
+            let outcome = cluster.run(100, seed);
+            ensure_eq!(outcome.stats.completed, 100);
+            ensure_eq!(outcome.trace.storage.len(), 100); // primary writes only
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,72 @@
+//! Hermetic in-repo JSON support.
+//!
+//! The workspace must build and test with the crates-io registry
+//! unreachable, so trace persistence cannot lean on `serde_json`. This
+//! crate provides the small subset of JSON machinery the workspace needs:
+//!
+//! * [`Json`] — an order-preserving JSON value type with distinct
+//!   `U64`/`I64`/`F64` numeric variants, so 64-bit ids and timestamps
+//!   survive round-trips without precision loss.
+//! * [`to_string`] — a compact serializer that is byte-compatible with the
+//!   output `serde_json` produced for this workspace's traces (field order
+//!   preserved, shortest round-trip floats with a trailing `.0` for
+//!   integral values, `\u00xx` escapes for control characters).
+//! * [`parse`] — a recursive-descent parser reporting 1-based line/column
+//!   error positions, rejecting duplicate object keys and non-finite
+//!   number literals.
+//! * [`ToJson`]/[`FromJson`] — conversion traits with impls for the
+//!   primitives, `Option`, `Vec`, tuples and `String`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod parse;
+mod ser;
+mod traits;
+mod value;
+
+pub use parse::parse;
+pub use ser::to_string;
+pub use traits::{FromJson, ToJson};
+pub use value::Json;
+
+/// Error from parsing or converting JSON.
+///
+/// Parse errors carry the 1-based line and column of the offending byte;
+/// conversion ([`FromJson`]) errors carry position `0:0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// 1-based line of the error, or 0 for non-parse errors.
+    pub line: usize,
+    /// 1-based column (in bytes) of the error, or 0 for non-parse errors.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JsonError {
+    /// A parse error at a known position.
+    pub fn at(line: usize, col: usize, message: impl Into<String>) -> Self {
+        JsonError { line, col, message: message.into() }
+    }
+
+    /// A conversion error with no source position.
+    pub fn conversion(message: impl Into<String>) -> Self {
+        JsonError { line: 0, col: 0, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} at line {} column {}", self.message, self.line, self.col)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, JsonError>;

@@ -1,0 +1,475 @@
+//! Recursive-descent JSON parser with line/column error positions.
+
+use crate::{Json, JsonError, Result};
+
+/// Maximum nesting depth, matching serde_json's default recursion limit.
+const MAX_DEPTH: usize = 128;
+
+/// Parses one JSON document from a string.
+///
+/// Stricter than RFC 8259 in two deliberate ways that matter for trace
+/// hygiene: duplicate object keys are an error (a silent last-wins would
+/// hide corrupted trace lines), and non-finite number literals (`NaN`,
+/// `Infinity`) are rejected like in strict JSON.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] with the 1-based line and byte column of the
+/// first offending character.
+pub fn parse(input: &str) -> Result<Json> {
+    let mut p = Parser { bytes: input.as_bytes(), input, pos: 0, line: 1, col: 1 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError::at(self.line, self.col, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.bump();
+                Ok(())
+            }
+            Some(got) => Err(self.err(format!("expected `{}`, found `{}`", b as char, got as char))),
+            None => Err(self.err(format!("expected `{}`, found end of input", b as char))),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input, expected a JSON value")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b'N' | b'I') => Err(self.err("non-finite numbers are not valid JSON")),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(format!("unexpected character `{}`", b as char))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json> {
+        let (line, col) = (self.line, self.col);
+        for expected in word.bytes() {
+            match self.bump() {
+                Some(got) if got == expected => {}
+                _ => return Err(JsonError::at(line, col, format!("invalid literal, expected `{word}`"))),
+            }
+        }
+        Ok(value)
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let (key_line, key_col) = (self.line, self.col);
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string object key"));
+            }
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError::at(key_line, key_col, format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {
+                    self.bump();
+                    return Ok(Json::Object(fields));
+                }
+                Some(b) => return Err(self.err(format!("expected `,` or `}}`, found `{}`", b as char))),
+                None => return Err(self.err("unexpected end of input inside an object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Json::Array(items));
+                }
+                Some(b) => return Err(self.err(format!("expected `,` or `]`, found `{}`", b as char))),
+                None => return Err(self.err("unexpected end of input inside an array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let (line, col) = (self.line, self.col);
+            match self.bump() {
+                None => return Err(JsonError::at(line, col, "unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => {
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| JsonError::at(line, col, "unterminated escape sequence"))?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape(line, col)?),
+                        other => {
+                            return Err(JsonError::at(
+                                line,
+                                col,
+                                format!("invalid escape sequence `\\{}`", other as char),
+                            ))
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::at(line, col, "unescaped control character in string"))
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a valid &str, so re-read
+                    // the whole character from the source slice.
+                    let start = self.pos - 1;
+                    let c = self.input[start..].chars().next().expect("input is valid UTF-8");
+                    for _ in 1..c.len_utf8() {
+                        self.bump();
+                    }
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u`, combining surrogate pairs.
+    fn unicode_escape(&mut self, line: usize, col: usize) -> Result<char> {
+        let hi = self.hex4(line, col)?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a `\uXXXX` low surrogate must follow.
+            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                return Err(JsonError::at(line, col, "unpaired surrogate in \\u escape"));
+            }
+            let lo = self.hex4(line, col)?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(JsonError::at(line, col, "invalid low surrogate in \\u escape"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            return char::from_u32(code)
+                .ok_or_else(|| JsonError::at(line, col, "invalid \\u escape"));
+        }
+        if (0xDC00..0xE000).contains(&hi) {
+            return Err(JsonError::at(line, col, "unpaired surrogate in \\u escape"));
+        }
+        char::from_u32(hi).ok_or_else(|| JsonError::at(line, col, "invalid \\u escape"))
+    }
+
+    fn hex4(&mut self, line: usize, col: usize) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| JsonError::at(line, col, "truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| JsonError::at(line, col, "invalid hex digit in \\u escape"))?;
+            v = v * 16 + digit;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let (line, col) = (self.line, self.col);
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.bump();
+        }
+        // Integer part: a single 0, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => {
+                self.bump();
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(JsonError::at(line, col, "numbers may not have leading zeros"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            }
+            _ => return Err(JsonError::at(line, col, "invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.bump();
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit after the decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected a digit in the exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if !is_float {
+            if negative {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Json::I64(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            // Integer out of 64-bit range: fall through to f64, as
+            // serde_json does without `arbitrary_precision`.
+        }
+        let x: f64 = text
+            .parse()
+            .map_err(|_| JsonError::at(line, col, format!("invalid number `{text}`")))?;
+        if !x.is_finite() {
+            return Err(JsonError::at(line, col, format!("number `{text}` overflows f64")));
+        }
+        Ok(Json::F64(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_string;
+
+    fn err(input: &str) -> JsonError {
+        parse(input).expect_err(&format!("`{input}` should not parse"))
+    }
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("0").unwrap(), Json::U64(0));
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::U64(u64::MAX));
+        assert_eq!(parse("-42").unwrap(), Json::I64(-42));
+        assert_eq!(parse("0.25").unwrap(), Json::F64(0.25));
+        assert_eq!(parse("-1e3").unwrap(), Json::F64(-1000.0));
+        assert_eq!(parse("1E+2").unwrap(), Json::F64(100.0));
+        assert_eq!(parse("  \"hi\"  ").unwrap(), Json::str("hi"));
+    }
+
+    #[test]
+    fn big_integers_degrade_to_f64() {
+        // One above u64::MAX: serde_json (sans arbitrary_precision) parses
+        // this as f64 and so do we.
+        assert!(matches!(parse("18446744073709551616").unwrap(), Json::F64(_)));
+        assert!(matches!(parse("-9223372036854775809").unwrap(), Json::F64(_)));
+    }
+
+    #[test]
+    fn containers_parse() {
+        assert_eq!(parse("[]").unwrap(), Json::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Json::Object(vec![]));
+        assert_eq!(
+            parse(r#"[1, "two", null, [true]]"#).unwrap(),
+            Json::Array(vec![
+                Json::U64(1),
+                Json::str("two"),
+                Json::Null,
+                Json::Array(vec![Json::Bool(true)]),
+            ])
+        );
+        let v = parse(r#"{"a": 1, "b": {"c": [2.5]}}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Json::U64(1)));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Array(vec![Json::F64(2.5)])));
+    }
+
+    #[test]
+    fn string_escapes_parse() {
+        assert_eq!(parse(r#""a\"b\\c\/d""#).unwrap(), Json::str("a\"b\\c/d"));
+        assert_eq!(parse(r#""\n\t\r\b\f""#).unwrap(), Json::str("\n\t\r\u{08}\u{0C}"));
+        assert_eq!(parse(r#""Aé""#).unwrap(), Json::str("Aé"));
+        // Surrogate pair: U+1F600.
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::str("\u{1F600}"));
+        assert_eq!(parse("\"héllo\"").unwrap(), Json::str("héllo"));
+    }
+
+    #[test]
+    fn round_trips_through_serializer() {
+        for s in [
+            r#"{"kind":"Cpu","ts_nanos":1,"utilization":0.1,"busy_nanos":5,"request_id":1}"#,
+            r#"[1,-2,3.5,"x",null,true,false,{"a":[]}]"#,
+            "0.3333333333333333",
+            "18446744073709551615",
+        ] {
+            assert_eq!(to_string(&parse(s).unwrap()), s);
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_report_position() {
+        let e = err("");
+        assert_eq!((e.line, e.col), (1, 1));
+        let e = err("{\"a\": ");
+        assert_eq!((e.line, e.col), (1, 7));
+        let e = err("[1, 2");
+        assert_eq!((e.line, e.col), (1, 6));
+        let e = err("\"abc");
+        assert!(e.message.contains("unterminated string"));
+        let e = err("{\"a\": 1\n");
+        assert_eq!(e.line, 2);
+        let e = err("tru");
+        assert!(e.message.contains("expected `true`"));
+    }
+
+    #[test]
+    fn bad_escapes_report_position() {
+        let e = err(r#""ab\x""#);
+        assert!(e.message.contains(r"invalid escape sequence `\x`"), "{}", e.message);
+        assert_eq!((e.line, e.col), (1, 4));
+        let e = err(r#""\u12"#);
+        assert!(e.message.contains("truncated"), "{}", e.message);
+        let e = err(r#""\uZZZZ""#);
+        assert!(e.message.contains("invalid hex digit"), "{}", e.message);
+        let e = err(r#""\ud800""#);
+        assert!(e.message.contains("surrogate"), "{}", e.message);
+        let e = err(r#""\ude00""#);
+        assert!(e.message.contains("surrogate"), "{}", e.message);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected_with_position() {
+        let e = err(r#"{"a": 1, "a": 2}"#);
+        assert!(e.message.contains("duplicate object key `a`"), "{}", e.message);
+        assert_eq!((e.line, e.col), (1, 10));
+        // Nested objects may reuse keys of the parent.
+        assert!(parse(r#"{"a": {"a": 1}}"#).is_ok());
+    }
+
+    #[test]
+    fn non_finite_numbers_rejected() {
+        for s in ["NaN", "Infinity", "-Infinity", "inf"] {
+            let e = err(s);
+            assert_eq!(e.line, 1, "{s}");
+        }
+        // Finite but overflowing literals are also rejected.
+        let e = err("1e999");
+        assert!(e.message.contains("overflows"), "{}", e.message);
+    }
+
+    #[test]
+    fn malformed_numbers_rejected() {
+        for s in ["01", "1.", ".5", "1e", "+1", "-", "1.e3"] {
+            err(s);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let e = err("1 2");
+        assert!(e.message.contains("trailing"), "{}", e.message);
+        assert_eq!((e.line, e.col), (1, 3));
+        err("{} {}");
+        err("null,");
+    }
+
+    #[test]
+    fn control_characters_must_be_escaped() {
+        let e = err("\"a\u{01}b\"");
+        assert!(e.message.contains("control character"), "{}", e.message);
+    }
+
+    #[test]
+    fn recursion_limit_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let e = err(&deep);
+        assert!(e.message.contains("recursion limit"), "{}", e.message);
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+}

@@ -1,0 +1,164 @@
+//! Compact serializer, byte-compatible with the serde_json wire format.
+
+use crate::Json;
+
+/// Serializes a value to a compact JSON string.
+///
+/// Matches `serde_json::to_string` byte-for-byte on this workspace's
+/// corpus: no whitespace, object fields in insertion order, shortest
+/// round-trip floats with a trailing `.0` when integral, non-finite floats
+/// as `null`, and `\u00xx` escapes for control characters.
+pub fn to_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+fn write_value(out: &mut String, value: &Json) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::U64(n) => {
+            let mut buf = [0u8; 20];
+            out.push_str(format_u64(*n, &mut buf));
+        }
+        Json::I64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Json::F64(x) => write_f64(out, *x),
+        Json::Str(s) => write_string(out, s),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Json::Object(fields) => {
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Formats a `u64` without allocating.
+fn format_u64(mut n: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("digits are ASCII")
+}
+
+/// Shortest round-trip float formatting, matching ryu/serde_json on the
+/// ranges this workspace produces: `Display` already emits the shortest
+/// decimal that parses back exactly; integral values additionally get a
+/// `.0` suffix (`1` → `1.0`) as ryu does. Non-finite values serialize as
+/// `null`, serde_json's behavior.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    {
+        use std::fmt::Write;
+        write!(out, "{x}").expect("writing to a String cannot fail");
+    }
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{09}' => out.push_str("\\t"),
+            '\u{0A}' => out.push_str("\\n"),
+            '\u{0C}' => out.push_str("\\f"),
+            '\u{0D}' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_string(&Json::Null), "null");
+        assert_eq!(to_string(&Json::Bool(true)), "true");
+        assert_eq!(to_string(&Json::Bool(false)), "false");
+        assert_eq!(to_string(&Json::U64(0)), "0");
+        assert_eq!(to_string(&Json::U64(u64::MAX)), "18446744073709551615");
+        assert_eq!(to_string(&Json::I64(-42)), "-42");
+    }
+
+    #[test]
+    fn floats_match_serde_json_format() {
+        assert_eq!(to_string(&Json::F64(0.25)), "0.25");
+        assert_eq!(to_string(&Json::F64(0.1)), "0.1");
+        assert_eq!(to_string(&Json::F64(1.0)), "1.0");
+        assert_eq!(to_string(&Json::F64(0.0)), "0.0");
+        assert_eq!(to_string(&Json::F64(-0.0)), "-0.0");
+        assert_eq!(to_string(&Json::F64(-2.5)), "-2.5");
+        assert_eq!(to_string(&Json::F64(1.0 / 3.0)), "0.3333333333333333");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(to_string(&Json::F64(f64::NAN)), "null");
+        assert_eq!(to_string(&Json::F64(f64::INFINITY)), "null");
+        assert_eq!(to_string(&Json::F64(f64::NEG_INFINITY)), "null");
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(to_string(&Json::str("plain")), r#""plain""#);
+        assert_eq!(to_string(&Json::str("a\"b\\c")), r#""a\"b\\c""#);
+        assert_eq!(to_string(&Json::str("\n\t\r\u{08}\u{0C}")), r#""\n\t\r\b\f""#);
+        assert_eq!(to_string(&Json::str("\u{1b}")), "\"\\u001b\"");
+        // Non-ASCII passes through raw, as serde_json does by default.
+        assert_eq!(to_string(&Json::str("héllo")), "\"héllo\"");
+    }
+
+    #[test]
+    fn containers_compact_in_order() {
+        let v = Json::Array(vec![Json::U64(1), Json::Null, Json::str("x")]);
+        assert_eq!(to_string(&v), r#"[1,null,"x"]"#);
+        let v = Json::Object(vec![
+            ("b".into(), Json::U64(2)),
+            ("a".into(), Json::Array(vec![])),
+        ]);
+        assert_eq!(to_string(&v), r#"{"b":2,"a":[]}"#);
+        assert_eq!(to_string(&Json::Object(vec![])), "{}");
+    }
+}

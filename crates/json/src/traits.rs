@@ -1,0 +1,239 @@
+//! Conversion traits between Rust values and [`Json`].
+
+use crate::{Json, JsonError, Result};
+
+/// Converts a value into its JSON representation.
+///
+/// Hand-written impls choose the field order; the serializer preserves it,
+/// which is what keeps the trace JSONL format byte-stable.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Reconstructs a value from its JSON representation.
+pub trait FromJson: Sized {
+    /// Parses `self` out of a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a conversion [`JsonError`] describing the first mismatch
+    /// (wrong type, missing field, out-of-range number).
+    fn from_json(value: &Json) -> Result<Self>;
+}
+
+fn type_error(expected: &str, found: &Json) -> JsonError {
+    JsonError::conversion(format!("expected {expected}, found {}", found.type_name()))
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_bool().ok_or_else(|| type_error("a boolean", value))
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::U64(*self)
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_u64().ok_or_else(|| type_error("an unsigned integer", value))
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::U64(u64::from(*self))
+    }
+}
+
+impl FromJson for u32 {
+    fn from_json(value: &Json) -> Result<Self> {
+        let n = u64::from_json(value)?;
+        u32::try_from(n)
+            .map_err(|_| JsonError::conversion(format!("integer {n} does not fit u32")))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::U64(*self as u64)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(value: &Json) -> Result<Self> {
+        let n = u64::from_json(value)?;
+        usize::try_from(n)
+            .map_err(|_| JsonError::conversion(format!("integer {n} does not fit usize")))
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        if *self >= 0 {
+            Json::U64(*self as u64)
+        } else {
+            Json::I64(*self)
+        }
+    }
+}
+
+impl FromJson for i64 {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_i64().ok_or_else(|| type_error("an integer", value))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_f64().ok_or_else(|| type_error("a number", value))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Result<Self> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| type_error("a string", value))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::str(*self)
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Json) -> Result<Self> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self> {
+        value
+            .as_array()
+            .ok_or_else(|| type_error("an array", value))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+// Tuples serialize as fixed-length arrays, matching serde.
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(value: &Json) -> Result<Self> {
+        let items = value.as_array().ok_or_else(|| type_error("an array", value))?;
+        if items.len() != 2 {
+            return Err(JsonError::conversion(format!(
+                "expected a 2-element array, found {} elements",
+                items.len()
+            )));
+        }
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, to_string};
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_json(&42u64.to_json()).unwrap(), 42);
+        assert_eq!(u32::from_json(&7u32.to_json()).unwrap(), 7);
+        assert_eq!(i64::from_json(&(-3i64).to_json()).unwrap(), -3);
+        assert_eq!(f64::from_json(&0.5f64.to_json()).unwrap(), 0.5);
+        assert!(bool::from_json(&true.to_json()).unwrap());
+        assert_eq!(String::from_json(&"x".to_json()).unwrap(), "x");
+        assert_eq!(
+            Option::<u64>::from_json(&None::<u64>.to_json()).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<u64>::from_json(&Some(9u64).to_json()).unwrap(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn nonnegative_i64_serializes_unsigned() {
+        // serde_json prints `5i64` as `5`; keep the same wire form.
+        assert_eq!(to_string(&5i64.to_json()), "5");
+        assert_eq!(to_string(&(-5i64).to_json()), "-5");
+    }
+
+    #[test]
+    fn integers_feed_floats_but_not_vice_versa() {
+        assert_eq!(f64::from_json(&Json::U64(3)).unwrap(), 3.0);
+        assert!(u64::from_json(&Json::F64(3.0)).is_err());
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trip() {
+        let v: Vec<(u64, String)> = vec![(6, "seek".into()), (9, "spin".into())];
+        let json = v.to_json();
+        assert_eq!(to_string(&json), r#"[[6,"seek"],[9,"spin"]]"#);
+        let back = Vec::<(u64, String)>::from_json(&parse(&to_string(&json)).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn range_checks() {
+        assert!(u32::from_json(&Json::U64(u64::MAX)).is_err());
+        assert!(u64::from_json(&Json::I64(-1)).is_err());
+        let e = Vec::<u64>::from_json(&Json::U64(1)).unwrap_err();
+        assert!(e.message.contains("expected an array"), "{}", e.message);
+        let e = <(u64, u64)>::from_json(&parse("[1]").unwrap()).unwrap_err();
+        assert!(e.message.contains("2-element"), "{}", e.message);
+    }
+}

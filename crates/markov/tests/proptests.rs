@@ -1,67 +1,94 @@
-//! Property-based tests for the Markov substrate.
+//! Property-based tests for the Markov substrate, on the deterministic
+//! in-repo `kooza-check` harness.
 
-use proptest::prelude::*;
+use kooza_check::gen::{f64_range, u64_range, usize_range, vec_of, zip2, zip3};
+use kooza_check::{checker, ensure, ensure_eq};
 
 use kooza_markov::{DiscreteHmm, GaussianHmm, HierarchicalMarkov, MarkovChainBuilder};
 use kooza_sim::rng::Rng64;
 
-proptest! {
-    /// Generated sequences only visit declared states, for any training
-    /// sequence and length.
-    #[test]
-    fn generated_states_in_range(
-        seq in proptest::collection::vec(0usize..5, 2..100),
-        len in 0usize..200,
-        seed in 0u64..1000,
-    ) {
-        let chain = MarkovChainBuilder::new(5).observe_sequence(&seq).build().unwrap();
-        let mut rng = Rng64::new(seed);
-        let out = chain.generate(len, &mut rng);
-        prop_assert_eq!(out.len(), len);
-        prop_assert!(out.iter().all(|&s| s < 5));
-    }
+/// Generated sequences only visit declared states, for any training
+/// sequence and length.
+#[test]
+fn generated_states_in_range() {
+    checker("generated_states_in_range").run(
+        zip3(
+            vec_of(usize_range(0, 5), 2, 100),
+            usize_range(0, 200),
+            u64_range(0, 1000),
+        ),
+        |(seq, len, seed): &(Vec<usize>, usize, u64)| {
+            let chain = MarkovChainBuilder::new(5).observe_sequence(seq).build().unwrap();
+            let mut rng = Rng64::new(*seed);
+            let out = chain.generate(*len, &mut rng);
+            ensure_eq!(out.len(), *len);
+            ensure!(out.iter().all(|&s| s < 5), "state out of range in {out:?}");
+            Ok(())
+        },
+    );
+}
 
-    /// Log-likelihood of the training sequence never decreases when
-    /// smoothing decreases (less smoothing = closer fit to the data).
-    #[test]
-    fn smoothing_tradeoff(seq in proptest::collection::vec(0usize..3, 10..100)) {
-        let tight = MarkovChainBuilder::new(3)
-            .with_smoothing(0.01)
-            .observe_sequence(&seq)
-            .build()
-            .unwrap();
-        let loose = MarkovChainBuilder::new(3)
-            .with_smoothing(5.0)
-            .observe_sequence(&seq)
-            .build()
-            .unwrap();
-        prop_assert!(
-            tight.log_likelihood(&seq).unwrap() >= loose.log_likelihood(&seq).unwrap() - 1e-9
-        );
-    }
+/// Log-likelihood of the training sequence never decreases when
+/// smoothing decreases (less smoothing = closer fit to the data).
+#[test]
+fn smoothing_tradeoff() {
+    checker("smoothing_tradeoff").run(
+        vec_of(usize_range(0, 3), 10, 100),
+        |seq: &Vec<usize>| {
+            let tight = MarkovChainBuilder::new(3)
+                .with_smoothing(0.01)
+                .observe_sequence(seq)
+                .build()
+                .unwrap();
+            let loose = MarkovChainBuilder::new(3)
+                .with_smoothing(5.0)
+                .observe_sequence(seq)
+                .build()
+                .unwrap();
+            ensure!(
+                tight.log_likelihood(seq).unwrap() >= loose.log_likelihood(seq).unwrap() - 1e-9,
+                "smoothing improved the training fit"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Hierarchical models generate only in-range (group, state) pairs and
-    /// train on whatever they generate (closure).
-    #[test]
-    fn hierarchical_closure(seed in 0u64..500, len in 10usize..300) {
-        let mut rng = Rng64::new(seed);
-        // Random-ish training sequence.
-        let seq: Vec<(usize, usize)> = (0..len.max(2))
-            .map(|_| (rng.next_bounded(3) as usize, rng.next_bounded(2) as usize))
-            .collect();
-        let model = HierarchicalMarkov::train(&seq, 3, 2, 0.5).unwrap();
-        let generated = model.generate(len, &mut rng);
-        prop_assert!(generated.iter().all(|&(g, s)| g < 3 && s < 2));
-        // Re-training on generated output succeeds (format closure).
-        if generated.len() >= 2 {
-            prop_assert!(HierarchicalMarkov::train(&generated, 3, 2, 0.5).is_ok());
-        }
-    }
+/// Hierarchical models generate only in-range (group, state) pairs and
+/// train on whatever they generate (closure).
+#[test]
+fn hierarchical_closure() {
+    checker("hierarchical_closure").run(
+        zip2(u64_range(0, 500), usize_range(10, 300)),
+        |&(seed, len)| {
+            let mut rng = Rng64::new(seed);
+            // Random-ish training sequence.
+            let seq: Vec<(usize, usize)> = (0..len.max(2))
+                .map(|_| (rng.next_bounded(3) as usize, rng.next_bounded(2) as usize))
+                .collect();
+            let model = HierarchicalMarkov::train(&seq, 3, 2, 0.5).unwrap();
+            let generated = model.generate(len, &mut rng);
+            ensure!(
+                generated.iter().all(|&(g, s)| g < 3 && s < 2),
+                "generated out-of-range pair"
+            );
+            // Re-training on generated output succeeds (format closure).
+            if generated.len() >= 2 {
+                ensure!(
+                    HierarchicalMarkov::train(&generated, 3, 2, 0.5).is_ok(),
+                    "retraining on generated output failed"
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Baum–Welch never decreases the training likelihood (EM monotonicity),
-    /// checked across random observation sequences.
-    #[test]
-    fn em_monotone(seed in 0u64..200) {
+/// Baum–Welch never decreases the training likelihood (EM monotonicity),
+/// checked across random observation sequences.
+#[test]
+fn em_monotone() {
+    checker("em_monotone").cases(32).run(u64_range(0, 200), |&seed| {
         let mut rng = Rng64::new(seed);
         let obs: Vec<usize> = (0..300).map(|_| rng.next_bounded(3) as usize).collect();
         let mut model = DiscreteHmm::random_init(2, 3, &mut rng);
@@ -69,29 +96,36 @@ proptest! {
         for _ in 0..5 {
             model.train(&obs, 1, 1e-15).unwrap();
             let ll = model.log_likelihood(&obs).unwrap();
-            prop_assert!(ll >= prev - 1e-6, "EM decreased: {prev} -> {ll}");
+            ensure!(ll >= prev - 1e-6, "EM decreased: {prev} -> {ll}");
             prev = ll;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Gaussian-HMM generation and scoring round-trip: the model assigns
-    /// finite likelihood to everything it generates.
-    #[test]
-    fn gaussian_hmm_scores_own_output(seed in 0u64..200, sticky in 0.5f64..0.99) {
-        let model = GaussianHmm::new(
-            vec![vec![sticky, 1.0 - sticky], vec![1.0 - sticky, sticky]],
-            vec![0.5, 0.5],
-            vec![-5.0, 5.0],
-            vec![1.0, 2.0],
-        )
-        .unwrap();
-        let mut rng = Rng64::new(seed);
-        let (_, obs) = model.generate(200, &mut rng);
-        let ll = model.log_likelihood(&obs).unwrap();
-        prop_assert!(ll.is_finite());
-        // Viterbi path has the right length and valid states.
-        let path = model.viterbi(&obs);
-        prop_assert_eq!(path.len(), obs.len());
-        prop_assert!(path.iter().all(|&s| s < 2));
-    }
+/// Gaussian-HMM generation and scoring round-trip: the model assigns
+/// finite likelihood to everything it generates.
+#[test]
+fn gaussian_hmm_scores_own_output() {
+    checker("gaussian_hmm_scores_own_output").run(
+        zip2(u64_range(0, 200), f64_range(0.5, 0.99)),
+        |&(seed, sticky)| {
+            let model = GaussianHmm::new(
+                vec![vec![sticky, 1.0 - sticky], vec![1.0 - sticky, sticky]],
+                vec![0.5, 0.5],
+                vec![-5.0, 5.0],
+                vec![1.0, 2.0],
+            )
+            .unwrap();
+            let mut rng = Rng64::new(seed);
+            let (_, obs) = model.generate(200, &mut rng);
+            let ll = model.log_likelihood(&obs).unwrap();
+            ensure!(ll.is_finite(), "non-finite log-likelihood");
+            // Viterbi path has the right length and valid states.
+            let path = model.viterbi(&obs);
+            ensure_eq!(path.len(), obs.len());
+            ensure!(path.iter().all(|&s| s < 2), "viterbi state out of range");
+            Ok(())
+        },
+    );
 }

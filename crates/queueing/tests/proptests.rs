@@ -1,6 +1,8 @@
-//! Property-based tests for the queueing substrate.
+//! Property-based tests for the queueing substrate, on the deterministic
+//! in-repo `kooza-check` harness.
 
-use proptest::prelude::*;
+use kooza_check::gen::{f64_range, u32_range, u64_range, usize_range, vec_of, zip2, zip3};
+use kooza_check::{assume, checker, ensure};
 
 use kooza_queueing::analytic::{mg1, mm1, mmc};
 use kooza_queueing::arrival::{arrival_times, PoissonArrivals};
@@ -9,88 +11,125 @@ use kooza_queueing::network::{simulate, NetworkConfig, NodeConfig};
 use kooza_sim::rng::Rng64;
 use kooza_stats::dist::Exponential;
 
-proptest! {
-    /// Analytic response times are monotone in load.
-    #[test]
-    fn response_monotone_in_load(mu in 5.0f64..50.0, c in 1usize..6) {
-        let mut prev = 0.0;
-        for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
-            let lambda = mu * c as f64 * frac;
-            let m = mmc(lambda, mu, c).unwrap();
-            prop_assert!(m.mean_response >= prev - 1e-12);
-            prev = m.mean_response;
-        }
-    }
+/// Analytic response times are monotone in load.
+#[test]
+fn response_monotone_in_load() {
+    checker("response_monotone_in_load").run(
+        zip2(f64_range(5.0, 50.0), usize_range(1, 6)),
+        |&(mu, c)| {
+            let mut prev = 0.0;
+            for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
+                let lambda = mu * c as f64 * frac;
+                let m = mmc(lambda, mu, c).unwrap();
+                ensure!(m.mean_response >= prev - 1e-12, "response fell at load {frac}");
+                prev = m.mean_response;
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// M/G/1 interpolates monotonically in service variability.
-    #[test]
-    fn mg1_monotone_in_scv(lambda in 0.5f64..8.0, mean in 0.01f64..0.1) {
-        prop_assume!(lambda * mean < 0.95);
-        let mut prev = 0.0;
-        for scv in [0.0, 0.5, 1.0, 2.0, 5.0] {
-            let m = mg1(lambda, mean, scv).unwrap();
-            prop_assert!(m.mean_wait >= prev - 1e-12);
-            prev = m.mean_wait;
-        }
-    }
+/// M/G/1 interpolates monotonically in service variability.
+#[test]
+fn mg1_monotone_in_scv() {
+    checker("mg1_monotone_in_scv").run(
+        zip2(f64_range(0.5, 8.0), f64_range(0.01, 0.1)),
+        |&(lambda, mean)| {
+            assume!(lambda * mean < 0.95);
+            let mut prev = 0.0;
+            for scv in [0.0, 0.5, 1.0, 2.0, 5.0] {
+                let m = mg1(lambda, mean, scv).unwrap();
+                ensure!(m.mean_wait >= prev - 1e-12, "wait fell at scv {scv}");
+                prev = m.mean_wait;
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Kingman with exponential marks equals exact M/M/1 waiting.
-    #[test]
-    fn kingman_mm1_identity(lambda in 0.5f64..9.0, mu in 10.0f64..30.0) {
-        let approx = kingman_gg1(lambda, 1.0, 1.0 / mu, 1.0).unwrap();
-        let exact = mm1(lambda, mu).unwrap().mean_wait;
-        prop_assert!((approx - exact).abs() < 1e-10);
-    }
+/// Kingman with exponential marks equals exact M/M/1 waiting.
+#[test]
+fn kingman_mm1_identity() {
+    checker("kingman_mm1_identity").run(
+        zip2(f64_range(0.5, 9.0), f64_range(10.0, 30.0)),
+        |&(lambda, mu)| {
+            let approx = kingman_gg1(lambda, 1.0, 1.0 / mu, 1.0).unwrap();
+            let exact = mm1(lambda, mu).unwrap().mean_wait;
+            ensure!((approx - exact).abs() < 1e-10, "kingman {approx} vs exact {exact}");
+            Ok(())
+        },
+    );
+}
 
-    /// MVA throughput obeys both asymptotic bounds:
-    /// X ≤ 1/D_max and X ≤ N / (Z + ΣD).
-    #[test]
-    fn mva_bounds(
-        n in 1usize..100,
-        think in 0.0f64..5.0,
-        demands in proptest::collection::vec(0.001f64..0.5, 1..5),
-    ) {
-        let s = closed_mva(n, think, &demands).unwrap();
-        let d_max = demands.iter().cloned().fold(0.0f64, f64::max);
-        let d_sum: f64 = demands.iter().sum();
-        prop_assert!(s.throughput <= 1.0 / d_max + 1e-9);
-        prop_assert!(s.throughput <= n as f64 / (think + d_sum) + 1e-9);
-        // Utilization law: U_i = X · D_i.
-        for (u, d) in s.utilizations.iter().zip(&demands) {
-            prop_assert!((u - s.throughput * d).abs() < 1e-9);
-            prop_assert!(*u <= 1.0 + 1e-9);
-        }
-    }
+/// MVA throughput obeys both asymptotic bounds:
+/// X ≤ 1/D_max and X ≤ N / (Z + ΣD).
+#[test]
+fn mva_bounds() {
+    checker("mva_bounds").run(
+        zip3(
+            usize_range(1, 100),
+            f64_range(0.0, 5.0),
+            vec_of(f64_range(0.001, 0.5), 1, 4),
+        ),
+        |(n, think, demands): &(usize, f64, Vec<f64>)| {
+            let s = closed_mva(*n, *think, demands).unwrap();
+            let d_max = demands.iter().cloned().fold(0.0f64, f64::max);
+            let d_sum: f64 = demands.iter().sum();
+            ensure!(s.throughput <= 1.0 / d_max + 1e-9, "X above 1/D_max");
+            ensure!(
+                s.throughput <= *n as f64 / (think + d_sum) + 1e-9,
+                "X above N/(Z+ΣD)"
+            );
+            // Utilization law: U_i = X · D_i.
+            for (u, d) in s.utilizations.iter().zip(demands) {
+                ensure!((u - s.throughput * d).abs() < 1e-9, "utilization law broken");
+                ensure!(*u <= 1.0 + 1e-9, "utilization {u} above 1");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Simulated M/M/1 agrees with the closed form across random loads
-    /// (coarse tolerance; this is a statistical check).
-    #[test]
-    fn simulation_matches_analytic(seed in 0u64..20, rho_pct in 20u32..75) {
-        let mu = 20.0;
-        let lambda = mu * rho_pct as f64 / 100.0;
-        let config = NetworkConfig::tandem(vec![NodeConfig {
-            name: "q".into(),
-            servers: 1,
-            service: Box::new(Exponential::new(mu).unwrap()),
-        }]);
-        let mut arrivals = PoissonArrivals::new(lambda).unwrap();
-        let mut rng = Rng64::new(seed);
-        let res = simulate(&config, &mut arrivals, 60_000, &mut rng).unwrap();
-        let analytic = mm1(lambda, mu).unwrap();
-        let rel = (res.mean_response_secs() - analytic.mean_response).abs()
-            / analytic.mean_response;
-        prop_assert!(rel < 0.15, "rho {rho_pct}%: rel err {rel}");
-    }
+/// Simulated M/M/1 agrees with the closed form across random loads
+/// (coarse tolerance; this is a statistical check).
+#[test]
+fn simulation_matches_analytic() {
+    checker("simulation_matches_analytic").cases(20).run(
+        zip2(u64_range(0, 20), u32_range(20, 75)),
+        |&(seed, rho_pct)| {
+            let mu = 20.0;
+            let lambda = mu * f64::from(rho_pct) / 100.0;
+            let config = NetworkConfig::tandem(vec![NodeConfig {
+                name: "q".into(),
+                servers: 1,
+                service: Box::new(Exponential::new(mu).unwrap()),
+            }]);
+            let mut arrivals = PoissonArrivals::new(lambda).unwrap();
+            let mut rng = Rng64::new(seed);
+            let res = simulate(&config, &mut arrivals, 60_000, &mut rng).unwrap();
+            let analytic = mm1(lambda, mu).unwrap();
+            let rel = (res.mean_response_secs() - analytic.mean_response).abs()
+                / analytic.mean_response;
+            ensure!(rel < 0.15, "rho {rho_pct}%: rel err {rel}");
+            Ok(())
+        },
+    );
+}
 
-    /// Arrival processes produce non-negative, monotone absolute times.
-    #[test]
-    fn arrivals_monotone(rate in 1.0f64..500.0, seed in 0u64..100) {
-        let mut p = PoissonArrivals::new(rate).unwrap();
-        let mut rng = Rng64::new(seed);
-        let times = arrival_times(&mut p, 500, &mut rng);
-        for w in times.windows(2) {
-            prop_assert!(w[1] >= w[0]);
-        }
-        prop_assert!(times[0] >= 0.0);
-    }
+/// Arrival processes produce non-negative, monotone absolute times.
+#[test]
+fn arrivals_monotone() {
+    checker("arrivals_monotone").run(
+        zip2(f64_range(1.0, 500.0), u64_range(0, 100)),
+        |&(rate, seed)| {
+            let mut p = PoissonArrivals::new(rate).unwrap();
+            let mut rng = Rng64::new(seed);
+            let times = arrival_times(&mut p, 500, &mut rng);
+            for w in times.windows(2) {
+                ensure!(w[1] >= w[0], "arrival times went backwards");
+            }
+            ensure!(times[0] >= 0.0, "negative first arrival");
+            Ok(())
+        },
+    );
 }

@@ -1,7 +1,9 @@
-//! Property-based tests for the statistics substrate.
+//! Property-based tests for the statistics substrate, on the deterministic
+//! in-repo `kooza-check` harness.
 #![allow(clippy::needless_range_loop)]
 
-use proptest::prelude::*;
+use kooza_check::gen::{f64_range, u64_range, vec_of, zip2, zip3, zip4};
+use kooza_check::{checker, ensure, ensure_eq};
 
 use kooza_sim::rng::Rng64;
 use kooza_stats::dist::{
@@ -13,150 +15,209 @@ use kooza_stats::histogram::{Histogram, VuList};
 use kooza_stats::matrix::Matrix;
 use kooza_stats::special::{gamma_p, gamma_q, ln_gamma, normal_cdf, normal_quantile};
 
-proptest! {
-    /// pdf is non-negative, cdf in [0,1], mean finite where defined.
-    #[test]
-    fn density_and_cdf_sanity(
-        x in -100.0f64..100.0,
-        rate in 0.01f64..100.0,
-        shape in 0.2f64..5.0,
-    ) {
-        let dists: Vec<Box<dyn Distribution>> = vec![
-            Box::new(Exponential::new(rate).unwrap()),
-            Box::new(Normal::new(0.0, shape).unwrap()),
-            Box::new(LogNormal::new(0.0, shape).unwrap()),
-            Box::new(Weibull::new(shape, 1.0).unwrap()),
-            Box::new(Gamma::new(shape, 1.0).unwrap()),
-            Box::new(Uniform::new(-1.0, 1.0).unwrap()),
-        ];
-        for d in &dists {
-            prop_assert!(d.pdf(x) >= 0.0, "{} pdf({x}) < 0", d.name());
-            let c = d.cdf(x);
-            prop_assert!((0.0..=1.0).contains(&c), "{} cdf({x}) = {c}", d.name());
-        }
-    }
-
-    /// MLE fitting recovers parameters of the generating family within a
-    /// sampling-noise tolerance.
-    #[test]
-    fn mle_recovers_parameters(seed in 0u64..500, rate in 0.2f64..20.0, sigma in 0.2f64..1.5) {
-        let n = 4000;
-        let mut rng = Rng64::new(seed);
-
-        let d = Exponential::new(rate).unwrap();
-        let data: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
-        let fit = fit_exponential(&data).unwrap();
-        prop_assert!((fit.rate() - rate).abs() / rate < 0.15, "rate {} vs {rate}", fit.rate());
-
-        let d = LogNormal::new(1.0, sigma).unwrap();
-        let data: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
-        let fit = fit_lognormal(&data).unwrap();
-        prop_assert!((fit.sigma() - sigma).abs() < 0.12, "sigma {} vs {sigma}", fit.sigma());
-
-        let d = Normal::new(-2.0, sigma).unwrap();
-        let data: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
-        let fit = fit_normal(&data).unwrap();
-        prop_assert!((fit.mu() + 2.0).abs() < 0.15);
-
-        let alpha = 1.0 + sigma; // 1.2..2.5
-        let d = Pareto::new(1.0, alpha).unwrap();
-        let data: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
-        let fit = fit_pareto(&data).unwrap();
-        prop_assert!((fit.alpha() - alpha).abs() / alpha < 0.15, "alpha {}", fit.alpha());
-    }
-
-    /// Special-function identities hold across the domain.
-    #[test]
-    fn special_function_identities(a in 0.1f64..30.0, x in 0.0f64..60.0, p in 0.001f64..0.999) {
-        prop_assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-10);
-        // ln Γ satisfies the recurrence.
-        prop_assert!((ln_gamma(a + 1.0) - a.ln() - ln_gamma(a)).abs() < 1e-8);
-        // Φ and Φ⁻¹ invert.
-        prop_assert!((normal_cdf(normal_quantile(p)) - p).abs() < 1e-8);
-    }
-
-    /// Discrete distributions: pmf sums to ~1 and samples stay in range.
-    #[test]
-    fn discrete_distributions_normalized(lambda in 0.5f64..20.0, n in 2u64..200, s in 0.3f64..2.0, gp in 0.05f64..0.95) {
-        let poisson = Poisson::new(lambda).unwrap();
-        let total: f64 = (0..300).map(|k| poisson.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
-
-        let zipf = Zipf::new(n, s).unwrap();
-        let total: f64 = (1..=n).map(|k| zipf.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        let mut rng = Rng64::new(n ^ 77);
-        for _ in 0..20 {
-            let k = zipf.sample(&mut rng);
-            prop_assert!((1..=n).contains(&k));
-        }
-
-        let geom = Geometric::new(gp).unwrap();
-        prop_assert!((geom.cdf(200) - 1.0).abs() < 1e-4 || gp < 0.06);
-    }
-
-    /// Histograms conserve counts.
-    #[test]
-    fn histogram_conserves_counts(data in proptest::collection::vec(-50.0f64..50.0, 1..300)) {
-        let mut h = Histogram::new(-10.0, 10.0, 8).unwrap();
-        for &x in &data {
-            h.record(x);
-        }
-        let binned: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
-        prop_assert_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
-        prop_assert_eq!(h.total(), data.len() as u64);
-    }
-
-    /// VU-lists: everything recorded is countable and samples stay in range.
-    #[test]
-    fn vu_list_sampling_in_range(points in proptest::collection::vec((0.0f64..4.0, 0.0f64..2.0), 1..100), seed in 0u64..1000) {
-        let mut vu = VuList::new(&[(0.0, 4.0, 8), (0.0, 2.0, 4)]).unwrap();
-        for (a, b) in &points {
-            vu.record(&[*a, *b]).unwrap();
-        }
-        prop_assert_eq!(vu.total(), points.len() as u64);
-        let mut rng = Rng64::new(seed);
-        let v = vu.sample(&mut rng).unwrap();
-        prop_assert!((0.0..4.0).contains(&v[0]));
-        prop_assert!((0.0..2.0).contains(&v[1]));
-    }
-
-    /// Matrix solve really solves.
-    #[test]
-    fn solve_verifies(
-        diag in proptest::collection::vec(1.0f64..10.0, 2..6),
-        rhs_seed in 0u64..100,
-    ) {
-        let n = diag.len();
-        // Diagonally-dominant random-ish matrix: guaranteed solvable.
-        let mut rng = Rng64::new(rhs_seed);
-        let mut m = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..n {
-                let v = if i == j { diag[i] + n as f64 } else { rng.next_f64() };
-                m.set(i, j, v);
+/// pdf is non-negative, cdf in [0,1], mean finite where defined.
+#[test]
+fn density_and_cdf_sanity() {
+    checker("density_and_cdf_sanity").run(
+        zip3(f64_range(-100.0, 100.0), f64_range(0.01, 100.0), f64_range(0.2, 5.0)),
+        |&(x, rate, shape)| {
+            let dists: Vec<Box<dyn Distribution>> = vec![
+                Box::new(Exponential::new(rate).unwrap()),
+                Box::new(Normal::new(0.0, shape).unwrap()),
+                Box::new(LogNormal::new(0.0, shape).unwrap()),
+                Box::new(Weibull::new(shape, 1.0).unwrap()),
+                Box::new(Gamma::new(shape, 1.0).unwrap()),
+                Box::new(Uniform::new(-1.0, 1.0).unwrap()),
+            ];
+            for d in &dists {
+                ensure!(d.pdf(x) >= 0.0, "{} pdf({x}) < 0", d.name());
+                let c = d.cdf(x);
+                ensure!((0.0..=1.0).contains(&c), "{} cdf({x}) = {c}", d.name());
             }
-        }
-        let b: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0 - 5.0).collect();
-        let x = m.solve(&b).unwrap();
-        let back = m.mul_vec(&x).unwrap();
-        for (bi, yi) in b.iter().zip(&back) {
-            prop_assert!((bi - yi).abs() < 1e-8);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// SVD reconstructs arbitrary small matrices.
-    #[test]
-    fn svd_reconstructs(
-        vals in proptest::collection::vec(-5.0f64..5.0, 6..=6),
-    ) {
-        let a = Matrix::from_vec(3, 2, vals).unwrap();
-        let (u, s, v) = a.svd().unwrap();
-        for r in 0..3 {
-            for c in 0..2 {
-                let rebuilt: f64 = (0..s.len()).map(|k| u.get(r, k) * s[k] * v.get(c, k)).sum();
-                prop_assert!((rebuilt - a.get(r, c)).abs() < 1e-7);
+/// MLE fitting recovers parameters of the generating family within a
+/// sampling-noise tolerance.
+#[test]
+fn mle_recovers_parameters() {
+    checker("mle_recovers_parameters").cases(32).run(
+        zip3(u64_range(0, 500), f64_range(0.2, 20.0), f64_range(0.2, 1.5)),
+        |&(seed, rate, sigma)| {
+            let n = 4000;
+            let mut rng = Rng64::new(seed);
+
+            let d = Exponential::new(rate).unwrap();
+            let data: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            let fit = fit_exponential(&data).unwrap();
+            ensure!((fit.rate() - rate).abs() / rate < 0.15, "rate {} vs {rate}", fit.rate());
+
+            let d = LogNormal::new(1.0, sigma).unwrap();
+            let data: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            let fit = fit_lognormal(&data).unwrap();
+            ensure!((fit.sigma() - sigma).abs() < 0.12, "sigma {} vs {sigma}", fit.sigma());
+
+            let d = Normal::new(-2.0, sigma).unwrap();
+            let data: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            let fit = fit_normal(&data).unwrap();
+            ensure!((fit.mu() + 2.0).abs() < 0.15, "mu {} vs -2", fit.mu());
+
+            let alpha = 1.0 + sigma; // 1.2..2.5
+            let d = Pareto::new(1.0, alpha).unwrap();
+            let data: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            let fit = fit_pareto(&data).unwrap();
+            ensure!((fit.alpha() - alpha).abs() / alpha < 0.15, "alpha {}", fit.alpha());
+            Ok(())
+        },
+    );
+}
+
+/// Special-function identities hold across the domain.
+#[test]
+fn special_function_identities() {
+    checker("special_function_identities").run(
+        zip3(f64_range(0.1, 30.0), f64_range(0.0, 60.0), f64_range(0.001, 0.999)),
+        |&(a, x, p)| {
+            ensure!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-10, "P + Q != 1");
+            // ln Γ satisfies the recurrence.
+            ensure!(
+                (ln_gamma(a + 1.0) - a.ln() - ln_gamma(a)).abs() < 1e-8,
+                "ln Γ recurrence fails at {a}"
+            );
+            // Φ and Φ⁻¹ invert.
+            ensure!(
+                (normal_cdf(normal_quantile(p)) - p).abs() < 1e-8,
+                "Φ(Φ⁻¹({p})) off"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Discrete distributions: pmf sums to ~1 and samples stay in range.
+#[test]
+fn discrete_distributions_normalized() {
+    checker("discrete_distributions_normalized").run(
+        zip4(
+            f64_range(0.5, 20.0), // lambda
+            u64_range(2, 200),    // n
+            f64_range(0.3, 2.0),  // s
+            f64_range(0.05, 0.95), // gp
+        ),
+        |&(lambda, n, s, gp)| {
+            let poisson = Poisson::new(lambda).unwrap();
+            let total: f64 = (0..300).map(|k| poisson.pmf(k)).sum();
+            ensure!((total - 1.0).abs() < 1e-6, "poisson pmf sums to {total}");
+
+            let zipf = Zipf::new(n, s).unwrap();
+            let total: f64 = (1..=n).map(|k| zipf.pmf(k)).sum();
+            ensure!((total - 1.0).abs() < 1e-9, "zipf pmf sums to {total}");
+            let mut rng = Rng64::new(n ^ 77);
+            for _ in 0..20 {
+                let k = zipf.sample(&mut rng);
+                ensure!((1..=n).contains(&k), "zipf sample {k} outside [1, {n}]");
             }
-        }
-    }
+
+            let geom = Geometric::new(gp).unwrap();
+            ensure!(
+                (geom.cdf(200) - 1.0).abs() < 1e-4 || gp < 0.06,
+                "geometric cdf(200) far from 1 at p = {gp}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Histograms conserve counts.
+#[test]
+fn histogram_conserves_counts() {
+    checker("histogram_conserves_counts").run(
+        vec_of(f64_range(-50.0, 50.0), 1, 300),
+        |data: &Vec<f64>| {
+            let mut h = Histogram::new(-10.0, 10.0, 8).unwrap();
+            for &x in data {
+                h.record(x);
+            }
+            let binned: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+            ensure_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
+            ensure_eq!(h.total(), data.len() as u64);
+            Ok(())
+        },
+    );
+}
+
+/// VU-lists: everything recorded is countable and samples stay in range.
+#[test]
+fn vu_list_sampling_in_range() {
+    checker("vu_list_sampling_in_range").run(
+        zip2(
+            vec_of(zip2(f64_range(0.0, 4.0), f64_range(0.0, 2.0)), 1, 100),
+            u64_range(0, 1000),
+        ),
+        |(points, seed): &(Vec<(f64, f64)>, u64)| {
+            let mut vu = VuList::new(&[(0.0, 4.0, 8), (0.0, 2.0, 4)]).unwrap();
+            for (a, b) in points {
+                vu.record(&[*a, *b]).unwrap();
+            }
+            ensure_eq!(vu.total(), points.len() as u64);
+            let mut rng = Rng64::new(*seed);
+            let v = vu.sample(&mut rng).unwrap();
+            ensure!((0.0..4.0).contains(&v[0]), "dim 0 sample {} out of range", v[0]);
+            ensure!((0.0..2.0).contains(&v[1]), "dim 1 sample {} out of range", v[1]);
+            Ok(())
+        },
+    );
+}
+
+/// Matrix solve really solves.
+#[test]
+fn solve_verifies() {
+    checker("solve_verifies").run(
+        zip2(vec_of(f64_range(1.0, 10.0), 2, 5), u64_range(0, 100)),
+        |(diag, rhs_seed): &(Vec<f64>, u64)| {
+            let n = diag.len();
+            // Diagonally-dominant random-ish matrix: guaranteed solvable.
+            let mut rng = Rng64::new(*rhs_seed);
+            let mut m = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let v = if i == j { diag[i] + n as f64 } else { rng.next_f64() };
+                    m.set(i, j, v);
+                }
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0 - 5.0).collect();
+            let x = m.solve(&b).unwrap();
+            let back = m.mul_vec(&x).unwrap();
+            for (bi, yi) in b.iter().zip(&back) {
+                ensure!((bi - yi).abs() < 1e-8, "residual {}", (bi - yi).abs());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// SVD reconstructs arbitrary small matrices.
+#[test]
+fn svd_reconstructs() {
+    checker("svd_reconstructs").run(
+        vec_of(f64_range(-5.0, 5.0), 6, 6),
+        |vals: &Vec<f64>| {
+            let a = Matrix::from_vec(3, 2, vals.clone()).unwrap();
+            let (u, s, v) = a.svd().unwrap();
+            for r in 0..3 {
+                for c in 0..2 {
+                    let rebuilt: f64 =
+                        (0..s.len()).map(|k| u.get(r, k) * s[k] * v.get(c, k)).sum();
+                    ensure!(
+                        (rebuilt - a.get(r, c)).abs() < 1e-7,
+                        "({r},{c}) rebuilt {rebuilt} vs {}",
+                        a.get(r, c)
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -3,11 +3,16 @@
 //! Every record carries `ts_nanos` (simulated nanoseconds) and
 //! `request_id`, the unique global identifier that lets in-depth tooling
 //! reassemble the life of a request across subsystems.
+//!
+//! JSON conversion is hand-written against `kooza-json` (the workspace
+//! builds with no external crates); the field order in each `to_json`
+//! matches the struct declaration order, which keeps the JSONL wire
+//! format byte-identical to what the serde derives used to emit.
 
-use serde::{Deserialize, Serialize};
+use kooza_json::{FromJson, Json, JsonError, ToJson};
 
 /// Read or write, for storage and memory operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoOp {
     /// A read access.
     Read,
@@ -24,8 +29,27 @@ impl std::fmt::Display for IoOp {
     }
 }
 
+impl ToJson for IoOp {
+    fn to_json(&self) -> Json {
+        Json::str(self.to_string())
+    }
+}
+
+impl FromJson for IoOp {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        match value.as_str() {
+            Some("Read") => Ok(IoOp::Read),
+            Some("Write") => Ok(IoOp::Write),
+            _ => Err(JsonError::conversion(format!(
+                "expected \"Read\" or \"Write\", found {}",
+                value.type_name()
+            ))),
+        }
+    }
+}
+
 /// Direction of a network record relative to the traced server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Arriving at the server (a request).
     Ingress,
@@ -33,8 +57,30 @@ pub enum Direction {
     Egress,
 }
 
+impl ToJson for Direction {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            Direction::Ingress => "Ingress",
+            Direction::Egress => "Egress",
+        })
+    }
+}
+
+impl FromJson for Direction {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        match value.as_str() {
+            Some("Ingress") => Ok(Direction::Ingress),
+            Some("Egress") => Ok(Direction::Egress),
+            _ => Err(JsonError::conversion(format!(
+                "expected \"Ingress\" or \"Egress\", found {}",
+                value.type_name()
+            ))),
+        }
+    }
+}
+
 /// One storage I/O: which logical block, how much, read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StorageRecord {
     /// Simulated time of issue, nanoseconds.
     pub ts_nanos: u64,
@@ -48,8 +94,32 @@ pub struct StorageRecord {
     pub request_id: u64,
 }
 
+impl ToJson for StorageRecord {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("ts_nanos".into(), self.ts_nanos.to_json()),
+            ("lbn".into(), self.lbn.to_json()),
+            ("size".into(), self.size.to_json()),
+            ("op".into(), self.op.to_json()),
+            ("request_id".into(), self.request_id.to_json()),
+        ])
+    }
+}
+
+impl FromJson for StorageRecord {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        Ok(StorageRecord {
+            ts_nanos: u64::from_json(value.field("ts_nanos")?)?,
+            lbn: u64::from_json(value.field("lbn")?)?,
+            size: u64::from_json(value.field("size")?)?,
+            op: IoOp::from_json(value.field("op")?)?,
+            request_id: u64::from_json(value.field("request_id")?)?,
+        })
+    }
+}
+
 /// One CPU utilization sample attributed to a request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuRecord {
     /// Simulated time of the sample, nanoseconds.
     pub ts_nanos: u64,
@@ -61,8 +131,30 @@ pub struct CpuRecord {
     pub request_id: u64,
 }
 
+impl ToJson for CpuRecord {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("ts_nanos".into(), self.ts_nanos.to_json()),
+            ("utilization".into(), self.utilization.to_json()),
+            ("busy_nanos".into(), self.busy_nanos.to_json()),
+            ("request_id".into(), self.request_id.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CpuRecord {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        Ok(CpuRecord {
+            ts_nanos: u64::from_json(value.field("ts_nanos")?)?,
+            utilization: f64::from_json(value.field("utilization")?)?,
+            busy_nanos: u64::from_json(value.field("busy_nanos")?)?,
+            request_id: u64::from_json(value.field("request_id")?)?,
+        })
+    }
+}
+
 /// One memory access: which bank, how much, read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryRecord {
     /// Simulated time, nanoseconds.
     pub ts_nanos: u64,
@@ -76,8 +168,32 @@ pub struct MemoryRecord {
     pub request_id: u64,
 }
 
+impl ToJson for MemoryRecord {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("ts_nanos".into(), self.ts_nanos.to_json()),
+            ("bank".into(), self.bank.to_json()),
+            ("size".into(), self.size.to_json()),
+            ("op".into(), self.op.to_json()),
+            ("request_id".into(), self.request_id.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MemoryRecord {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        Ok(MemoryRecord {
+            ts_nanos: u64::from_json(value.field("ts_nanos")?)?,
+            bank: u32::from_json(value.field("bank")?)?,
+            size: u64::from_json(value.field("size")?)?,
+            op: IoOp::from_json(value.field("op")?)?,
+            request_id: u64::from_json(value.field("request_id")?)?,
+        })
+    }
+}
+
 /// One network event: a request arriving or a response leaving.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetworkRecord {
     /// Simulated time, nanoseconds.
     pub ts_nanos: u64,
@@ -89,55 +205,85 @@ pub struct NetworkRecord {
     pub request_id: u64,
 }
 
+impl ToJson for NetworkRecord {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("ts_nanos".into(), self.ts_nanos.to_json()),
+            ("size".into(), self.size.to_json()),
+            ("direction".into(), self.direction.to_json()),
+            ("request_id".into(), self.request_id.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NetworkRecord {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        Ok(NetworkRecord {
+            ts_nanos: u64::from_json(value.field("ts_nanos")?)?,
+            size: u64::from_json(value.field("size")?)?,
+            direction: Direction::from_json(value.field("direction")?)?,
+            request_id: u64::from_json(value.field("request_id")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(v: &T) {
+        let json = kooza_json::to_string(&v.to_json());
+        let back = T::from_json(&kooza_json::parse(&json).unwrap()).unwrap();
+        assert_eq!(*v, back);
+    }
+
     #[test]
     fn records_round_trip_through_json() {
-        let s = StorageRecord {
+        round_trip(&StorageRecord {
             ts_nanos: 123,
             lbn: 456,
             size: 4096,
             op: IoOp::Write,
             request_id: 7,
-        };
-        let json = serde_json::to_string(&s).unwrap();
-        let back: StorageRecord = serde_json::from_str(&json).unwrap();
-        assert_eq!(s, back);
-
-        let c = CpuRecord {
+        });
+        round_trip(&CpuRecord {
             ts_nanos: 1,
             utilization: 0.25,
             busy_nanos: 500,
             request_id: 7,
-        };
-        let back: CpuRecord = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
-        assert_eq!(c, back);
-
-        let m = MemoryRecord {
+        });
+        round_trip(&MemoryRecord {
             ts_nanos: 2,
             bank: 3,
             size: 64,
             op: IoOp::Read,
             request_id: 7,
-        };
-        let back: MemoryRecord = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
-        assert_eq!(m, back);
-
-        let n = NetworkRecord {
+        });
+        round_trip(&NetworkRecord {
             ts_nanos: 3,
             size: 65536,
             direction: Direction::Ingress,
             request_id: 7,
-        };
-        let back: NetworkRecord = serde_json::from_str(&serde_json::to_string(&n).unwrap()).unwrap();
-        assert_eq!(n, back);
+        });
     }
 
     #[test]
     fn io_op_display() {
         assert_eq!(IoOp::Read.to_string(), "Read");
         assert_eq!(IoOp::Write.to_string(), "Write");
+    }
+
+    #[test]
+    fn enum_variants_reject_unknown_strings() {
+        assert!(IoOp::from_json(&Json::str("Append")).is_err());
+        assert!(Direction::from_json(&Json::str("Sideways")).is_err());
+        assert!(IoOp::from_json(&Json::U64(1)).is_err());
+    }
+
+    #[test]
+    fn missing_fields_are_named_in_errors() {
+        let v = kooza_json::parse(r#"{"ts_nanos":1}"#).unwrap();
+        let err = StorageRecord::from_json(&v).unwrap_err();
+        assert!(err.message.contains("missing field `lbn`"), "{}", err.message);
     }
 }

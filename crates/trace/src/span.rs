@@ -8,20 +8,45 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use serde::{Deserialize, Serialize};
+use kooza_json::{FromJson, Json, ToJson};
 
 use crate::{Result, TraceError};
 
 /// Globally unique request (trace) identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TraceId(pub u64);
 
+impl ToJson for TraceId {
+    fn to_json(&self) -> Json {
+        // Newtype ids serialize transparently as the inner integer.
+        self.0.to_json()
+    }
+}
+
+impl FromJson for TraceId {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        u64::from_json(value).map(TraceId)
+    }
+}
+
 /// Identifier of one span within a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpanId(pub u64);
 
+impl ToJson for SpanId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for SpanId {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        u64::from_json(value).map(SpanId)
+    }
+}
+
 /// One timed section of work attributed to a request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Span {
     /// The request this span belongs to.
     pub trace_id: TraceId,
@@ -73,6 +98,34 @@ impl Span {
     /// Span duration in nanoseconds.
     pub fn duration_nanos(&self) -> u64 {
         self.end_nanos - self.start_nanos
+    }
+}
+
+impl ToJson for Span {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("trace_id".into(), self.trace_id.to_json()),
+            ("span_id".into(), self.span_id.to_json()),
+            ("parent".into(), self.parent.to_json()),
+            ("name".into(), self.name.to_json()),
+            ("start_nanos".into(), self.start_nanos.to_json()),
+            ("end_nanos".into(), self.end_nanos.to_json()),
+            ("annotations".into(), self.annotations.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Span {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        Ok(Span {
+            trace_id: TraceId::from_json(value.field("trace_id")?)?,
+            span_id: SpanId::from_json(value.field("span_id")?)?,
+            parent: Option::<SpanId>::from_json(value.field("parent")?)?,
+            name: String::from_json(value.field("name")?)?,
+            start_nanos: u64::from_json(value.field("start_nanos")?)?,
+            end_nanos: u64::from_json(value.field("end_nanos")?)?,
+            annotations: Vec::<(u64, String)>::from_json(value.field("annotations")?)?,
+        })
     }
 }
 
@@ -409,11 +462,17 @@ mod tests {
     }
 
     #[test]
-    fn span_serde_round_trip() {
+    fn span_json_round_trip() {
         let mut s = Span::new(TraceId(3), SpanId(1), Some(SpanId(0)), "disk", 5, 9);
         s.annotate(6, "seek");
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Span = serde_json::from_str(&json).unwrap();
+        let json = kooza_json::to_string(&s.to_json());
+        let back = Span::from_json(&kooza_json::parse(&json).unwrap()).unwrap();
         assert_eq!(s, back);
+        // Root spans have a null parent on the wire.
+        let root = Span::new(TraceId(3), SpanId(0), None, "request", 0, 10);
+        let json = kooza_json::to_string(&root.to_json());
+        assert!(json.contains(r#""parent":null"#), "{json}");
+        let back = Span::from_json(&kooza_json::parse(&json).unwrap()).unwrap();
+        assert_eq!(root, back);
     }
 }

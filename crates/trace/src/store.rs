@@ -8,21 +8,57 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 
-use serde::{Deserialize, Serialize};
+use kooza_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::record::{CpuRecord, MemoryRecord, NetworkRecord, StorageRecord};
 use crate::span::{Span, TraceTree};
 use crate::{Result, TraceError};
 
-/// One line of a serialized trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind")]
+/// One line of a serialized trace, internally tagged by a `kind` field —
+/// the same wire format serde's `#[serde(tag = "kind")]` produced.
+#[derive(Debug, Clone, PartialEq)]
 enum Line {
     Storage(StorageRecord),
     Cpu(CpuRecord),
     Memory(MemoryRecord),
     Network(NetworkRecord),
     Span(Span),
+}
+
+impl ToJson for Line {
+    fn to_json(&self) -> Json {
+        let (kind, inner) = match self {
+            Line::Storage(r) => ("Storage", r.to_json()),
+            Line::Cpu(r) => ("Cpu", r.to_json()),
+            Line::Memory(r) => ("Memory", r.to_json()),
+            Line::Network(r) => ("Network", r.to_json()),
+            Line::Span(s) => ("Span", s.to_json()),
+        };
+        let mut fields = vec![("kind".to_string(), Json::str(kind))];
+        match inner {
+            Json::Object(rest) => fields.extend(rest),
+            other => unreachable!("records serialize as objects, got {}", other.type_name()),
+        }
+        Json::Object(fields)
+    }
+}
+
+impl FromJson for Line {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        let kind = value.field("kind")?;
+        match kind.as_str() {
+            Some("Storage") => StorageRecord::from_json(value).map(Line::Storage),
+            Some("Cpu") => CpuRecord::from_json(value).map(Line::Cpu),
+            Some("Memory") => MemoryRecord::from_json(value).map(Line::Memory),
+            Some("Network") => NetworkRecord::from_json(value).map(Line::Network),
+            Some("Span") => Span::from_json(value).map(Line::Span),
+            Some(other) => Err(JsonError::conversion(format!("unknown record kind `{other}`"))),
+            None => Err(JsonError::conversion(format!(
+                "`kind` must be a string, found {}",
+                kind.type_name()
+            ))),
+        }
+    }
 }
 
 /// A complete multi-subsystem trace.
@@ -137,8 +173,7 @@ impl TraceSet {
     /// Propagates I/O errors.
     pub fn write_jsonl<W: Write>(&self, mut w: W) -> Result<()> {
         let mut emit = |line: &Line| -> Result<()> {
-            let json = serde_json::to_string(line)
-                .map_err(|e| TraceError::Parse { line: 0, message: e.to_string() })?;
+            let json = kooza_json::to_string(&line.to_json());
             w.write_all(json.as_bytes())?;
             w.write_all(b"\n")?;
             Ok(())
@@ -176,10 +211,9 @@ impl TraceSet {
             if line.trim().is_empty() {
                 continue;
             }
-            let parsed: Line = serde_json::from_str(&line).map_err(|e| TraceError::Parse {
-                line: idx + 1,
-                message: e.to_string(),
-            })?;
+            let parsed = kooza_json::parse(&line)
+                .and_then(|v| Line::from_json(&v))
+                .map_err(|e| TraceError::Parse { line: idx + 1, message: e.to_string() })?;
             match parsed {
                 Line::Storage(r) => out.storage.push(r),
                 Line::Cpu(r) => out.cpu.push(r),

@@ -1,0 +1,108 @@
+//! Golden-fixture tests pinning the JSONL wire format.
+//!
+//! The fixture strings below are byte-for-byte what the serde-era
+//! implementation (`serde_json` with `#[serde(tag = "kind")]`) emitted.
+//! They must never change: traces written by older builds have to keep
+//! parsing, and traces written by this build must be readable by external
+//! tooling that learned the old format.
+
+use kooza_trace::record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
+use kooza_trace::span::{Span, SpanId, TraceId};
+use kooza_trace::store::TraceSet;
+
+/// The five line kinds, one golden line each, exactly as serde emitted.
+const GOLDEN_STORAGE: &str =
+    r#"{"kind":"Storage","ts_nanos":123,"lbn":456,"size":4096,"op":"Write","request_id":7}"#;
+const GOLDEN_CPU: &str =
+    r#"{"kind":"Cpu","ts_nanos":1,"utilization":0.25,"busy_nanos":500,"request_id":7}"#;
+const GOLDEN_MEMORY: &str =
+    r#"{"kind":"Memory","ts_nanos":2,"bank":3,"size":64,"op":"Read","request_id":7}"#;
+const GOLDEN_NETWORK: &str =
+    r#"{"kind":"Network","ts_nanos":3,"size":65536,"direction":"Ingress","request_id":7}"#;
+const GOLDEN_SPAN: &str = r#"{"kind":"Span","trace_id":3,"span_id":1,"parent":0,"name":"disk","start_nanos":5,"end_nanos":9,"annotations":[[6,"seek"]]}"#;
+const GOLDEN_ROOT_SPAN: &str = r#"{"kind":"Span","trace_id":3,"span_id":0,"parent":null,"name":"request","start_nanos":0,"end_nanos":10,"annotations":[]}"#;
+
+fn fixture_set() -> TraceSet {
+    let mut ts = TraceSet::new();
+    ts.storage.push(StorageRecord {
+        ts_nanos: 123,
+        lbn: 456,
+        size: 4096,
+        op: IoOp::Write,
+        request_id: 7,
+    });
+    ts.cpu.push(CpuRecord {
+        ts_nanos: 1,
+        utilization: 0.25,
+        busy_nanos: 500,
+        request_id: 7,
+    });
+    ts.memory.push(MemoryRecord {
+        ts_nanos: 2,
+        bank: 3,
+        size: 64,
+        op: IoOp::Read,
+        request_id: 7,
+    });
+    ts.network.push(NetworkRecord {
+        ts_nanos: 3,
+        size: 65536,
+        direction: Direction::Ingress,
+        request_id: 7,
+    });
+    ts.spans.push(Span::new(TraceId(3), SpanId(0), None, "request", 0, 10));
+    let mut span = Span::new(TraceId(3), SpanId(1), Some(SpanId(0)), "disk", 5, 9);
+    span.annotate(6, "seek");
+    ts.spans.push(span);
+    ts
+}
+
+fn golden_corpus() -> String {
+    [
+        GOLDEN_STORAGE,
+        GOLDEN_CPU,
+        GOLDEN_MEMORY,
+        GOLDEN_NETWORK,
+        GOLDEN_ROOT_SPAN,
+        GOLDEN_SPAN,
+    ]
+    .iter()
+    .map(|l| format!("{l}\n"))
+    .collect()
+}
+
+#[test]
+fn writer_emits_exact_golden_bytes() {
+    let mut buf = Vec::new();
+    fixture_set().write_jsonl(&mut buf).unwrap();
+    let written = String::from_utf8(buf).unwrap();
+    assert_eq!(written, golden_corpus());
+}
+
+#[test]
+fn reader_parses_golden_fixture_lines() {
+    let ts = TraceSet::read_jsonl(golden_corpus().as_bytes()).unwrap();
+    assert_eq!(ts, fixture_set());
+}
+
+#[test]
+fn write_read_write_is_byte_identical() {
+    let mut first = Vec::new();
+    fixture_set().write_jsonl(&mut first).unwrap();
+    let reread = TraceSet::read_jsonl(first.as_slice()).unwrap();
+    let mut second = Vec::new();
+    reread.write_jsonl(&mut second).unwrap();
+    assert_eq!(first, second, "write → read → write must be a fixed point");
+}
+
+#[test]
+fn unknown_kind_reports_line_number() {
+    let data = format!("{GOLDEN_CPU}\n{{\"kind\":\"Gpu\",\"ts_nanos\":1}}\n");
+    match TraceSet::read_jsonl(data.as_bytes()) {
+        Err(kooza_trace::TraceError::Parse { line, message }) => {
+            assert_eq!(line, 2);
+            assert!(message.contains("unknown record kind `Gpu`"), "{message}");
+        }
+        other => panic!("expected a parse error, got {other:?}"),
+    }
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic build + full test suite + dependency guard.
+#
+# The workspace must build and test with NO network access and NO external
+# crates. This script is the single command CI (and humans) run to check
+# that; it fails if any Cargo.toml reintroduces a registry dependency.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== dependency guard: no registry deps allowed =="
+# Any `version = "..."` requirement in a dependency table means a registry
+# dep (workspace-internal deps are path-only). `version.workspace = true`
+# under [package] is fine, as is the workspace's own version key.
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    if awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies/) }
+        in_deps && /version[[:space:]]*=/ { found = 1 }
+        END { exit !found }
+    ' "$manifest"; then
+        echo "registry dependency found in $manifest" >&2
+        bad=1
+    fi
+done
+if grep -Rn 'crates-io\|registry+' Cargo.lock 2>/dev/null | head -1; then
+    echo "Cargo.lock references a registry" >&2
+    bad=1
+fi
+[ "$bad" -eq 0 ] || exit 1
+echo "ok: all dependencies are path dependencies"
+
+echo "== tier-1: offline release build =="
+cargo build --release --offline --workspace
+
+echo "== tier-1: full test suite =="
+cargo test -q --offline --workspace
+
+echo "== benchmarks compile and smoke-run =="
+cargo bench --offline -p kooza-bench --bench micro -- --test >/dev/null
+
+echo "verify: OK"

@@ -1,6 +1,12 @@
 //! Property-based tests over the core invariants, spanning crates.
+//!
+//! Ported from `proptest` to the in-repo `kooza-check` harness: every
+//! property runs a deterministic, seeded case stream (configure with
+//! `KOOZA_CHECK_CASES` / `KOOZA_CHECK_SEED`), so a green run is green
+//! everywhere.
 
-use proptest::prelude::*;
+use kooza_check::gen::{f64_range, u64_range, usize_range, vec_of, zip2, zip3, zip4, zip6};
+use kooza_check::{checker, ensure};
 
 use kooza_markov::MarkovChainBuilder;
 use kooza_queueing::analytic::{mg1, mm1, mmc};
@@ -9,119 +15,191 @@ use kooza_sim::{Engine, SimDuration, Tally};
 use kooza_stats::dist::{Distribution, Exponential, LogNormal, Pareto, Uniform, Weibull};
 use kooza_stats::summary::percentile;
 
-proptest! {
-    /// Every distribution's quantile inverts its cdf on the open interval.
-    #[test]
-    fn quantile_inverts_cdf(
-        p in 0.001f64..0.999,
-        rate in 0.1f64..50.0,
-        mu in -3.0f64..3.0,
-        sigma in 0.05f64..2.0,
-        alpha in 1.05f64..4.0,
-        shape in 0.3f64..4.0,
-    ) {
-        let dists: Vec<Box<dyn Distribution>> = vec![
-            Box::new(Exponential::new(rate).unwrap()),
-            Box::new(LogNormal::new(mu, sigma).unwrap()),
-            Box::new(Pareto::new(0.5, alpha).unwrap()),
-            Box::new(Weibull::new(shape, 1.5).unwrap()),
-            Box::new(Uniform::new(mu, mu + 2.0).unwrap()),
-        ];
-        for d in &dists {
-            let x = d.quantile(p);
-            let back = d.cdf(x);
-            prop_assert!((back - p).abs() < 1e-6, "{}: cdf(q({p})) = {back}", d.name());
-        }
-    }
+/// Every distribution's quantile inverts its cdf on the open interval.
+#[test]
+fn quantile_inverts_cdf() {
+    checker("quantile_inverts_cdf").run(
+        zip6(
+            f64_range(0.001, 0.999), // p
+            f64_range(0.1, 50.0),    // rate
+            f64_range(-3.0, 3.0),    // mu
+            f64_range(0.05, 2.0),    // sigma
+            f64_range(1.05, 4.0),    // alpha
+            f64_range(0.3, 4.0),     // shape
+        ),
+        |&(p, rate, mu, sigma, alpha, shape)| {
+            let dists: Vec<Box<dyn Distribution>> = vec![
+                Box::new(Exponential::new(rate).unwrap()),
+                Box::new(LogNormal::new(mu, sigma).unwrap()),
+                Box::new(Pareto::new(0.5, alpha).unwrap()),
+                Box::new(Weibull::new(shape, 1.5).unwrap()),
+                Box::new(Uniform::new(mu, mu + 2.0).unwrap()),
+            ];
+            for d in &dists {
+                let x = d.quantile(p);
+                let back = d.cdf(x);
+                ensure!((back - p).abs() < 1e-6, "{}: cdf(q({p})) = {back}", d.name());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Cdfs are monotone non-decreasing.
-    #[test]
-    fn cdf_is_monotone(a in -10.0f64..10.0, b in -10.0f64..10.0, sigma in 0.1f64..3.0) {
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let d = LogNormal::new(0.0, sigma).unwrap();
-        prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-15);
-    }
+/// Cdfs are monotone non-decreasing.
+#[test]
+fn cdf_is_monotone() {
+    checker("cdf_is_monotone").run(
+        zip3(f64_range(-10.0, 10.0), f64_range(-10.0, 10.0), f64_range(0.1, 3.0)),
+        |&(a, b, sigma)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let d = LogNormal::new(0.0, sigma).unwrap();
+            ensure!(d.cdf(lo) <= d.cdf(hi) + 1e-15, "cdf({lo}) > cdf({hi})");
+            Ok(())
+        },
+    );
+}
 
-    /// Samples fall inside the support and within extreme quantiles.
-    #[test]
-    fn samples_respect_support(seed in 0u64..5000, alpha in 1.1f64..4.0) {
-        let d = Pareto::new(2.0, alpha).unwrap();
-        let mut rng = Rng64::new(seed);
-        for _ in 0..50 {
-            let x = d.sample(&mut rng);
-            prop_assert!(x >= 2.0);
-        }
-    }
+/// Samples fall inside the support and within extreme quantiles.
+#[test]
+fn samples_respect_support() {
+    checker("samples_respect_support").run(
+        zip2(u64_range(0, 5000), f64_range(1.1, 4.0)),
+        |&(seed, alpha)| {
+            let d = Pareto::new(2.0, alpha).unwrap();
+            let mut rng = Rng64::new(seed);
+            for _ in 0..50 {
+                let x = d.sample(&mut rng);
+                ensure!(x >= 2.0, "sample {x} below support");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Trained Markov chains always have stochastic rows, whatever the
-    /// observed sequence.
-    #[test]
-    fn markov_rows_stochastic(seq in proptest::collection::vec(0usize..6, 2..200)) {
-        let chain = MarkovChainBuilder::new(6).observe_sequence(&seq).build().unwrap();
-        for i in 0..6 {
-            let sum: f64 = chain.row(i).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
-            prop_assert!(chain.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
-        }
-        let pi = chain.stationary().unwrap();
-        let total: f64 = pi.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-    }
+/// Trained Markov chains always have stochastic rows, whatever the
+/// observed sequence.
+#[test]
+fn markov_rows_stochastic() {
+    checker("markov_rows_stochastic").run(
+        vec_of(usize_range(0, 6), 2, 200),
+        |seq: &Vec<usize>| {
+            let chain = MarkovChainBuilder::new(6).observe_sequence(seq).build().unwrap();
+            for i in 0..6 {
+                let sum: f64 = chain.row(i).iter().sum();
+                ensure!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+                ensure!(
+                    chain.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)),
+                    "row {i} has out-of-range probabilities"
+                );
+            }
+            let pi = chain.stationary().unwrap();
+            let total: f64 = pi.iter().sum();
+            ensure!((total - 1.0).abs() < 1e-9, "stationary sums to {total}");
+            Ok(())
+        },
+    );
+}
 
-    /// Little's law holds in every stable analytic queue.
-    #[test]
-    fn littles_law(lambda in 0.1f64..9.0, mu in 10.0f64..20.0, c in 1usize..8, scv in 0.0f64..4.0) {
-        for m in [
-            mm1(lambda, mu).unwrap(),
-            mmc(lambda, mu, c).unwrap(),
-            mg1(lambda, 1.0 / mu, scv).unwrap(),
-        ] {
-            prop_assert!((m.mean_jobs - lambda * m.mean_response).abs() < 1e-9);
-            prop_assert!(m.mean_wait >= -1e-12);
-            prop_assert!(m.mean_response >= m.mean_wait);
-        }
-    }
+/// Little's law holds in every stable analytic queue.
+#[test]
+fn littles_law() {
+    checker("littles_law").run(
+        zip4(
+            f64_range(0.1, 9.0),   // lambda
+            f64_range(10.0, 20.0), // mu
+            usize_range(1, 8),     // c
+            f64_range(0.0, 4.0),   // scv
+        ),
+        |&(lambda, mu, c, scv)| {
+            for m in [
+                mm1(lambda, mu).unwrap(),
+                mmc(lambda, mu, c).unwrap(),
+                mg1(lambda, 1.0 / mu, scv).unwrap(),
+            ] {
+                ensure!(
+                    (m.mean_jobs - lambda * m.mean_response).abs() < 1e-9,
+                    "L = {} but λW = {}",
+                    m.mean_jobs,
+                    lambda * m.mean_response
+                );
+                ensure!(m.mean_wait >= -1e-12, "negative wait {}", m.mean_wait);
+                ensure!(m.mean_response >= m.mean_wait, "response below wait");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The event engine delivers every event exactly once, in time order.
-    #[test]
-    fn engine_delivers_in_order(delays in proptest::collection::vec(0u64..1_000_000, 1..100)) {
-        let mut eng: Engine<usize> = Engine::new();
-        for (i, &d) in delays.iter().enumerate() {
-            eng.schedule(SimDuration::from_nanos(d), i);
-        }
-        let mut seen = vec![false; delays.len()];
-        let mut last = 0u64;
-        while let Some((t, ev)) = eng.next() {
-            prop_assert!(t.as_nanos() >= last);
-            last = t.as_nanos();
-            prop_assert!(!seen[ev], "event {ev} delivered twice");
-            seen[ev] = true;
-        }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+/// The event engine delivers every event exactly once, in time order.
+#[test]
+fn engine_delivers_in_order() {
+    checker("engine_delivers_in_order").run(
+        vec_of(u64_range(0, 1_000_000), 1, 100),
+        |delays: &Vec<u64>| {
+            let mut eng: Engine<usize> = Engine::new();
+            for (i, &d) in delays.iter().enumerate() {
+                eng.schedule(SimDuration::from_nanos(d), i);
+            }
+            let mut seen = vec![false; delays.len()];
+            let mut last = 0u64;
+            while let Some((t, ev)) = eng.next() {
+                ensure!(t.as_nanos() >= last, "time went backwards");
+                last = t.as_nanos();
+                ensure!(!seen[ev], "event {ev} delivered twice");
+                seen[ev] = true;
+            }
+            ensure!(seen.iter().all(|&s| s), "some event was never delivered");
+            Ok(())
+        },
+    );
+}
 
-    /// Welford tally agrees with direct two-pass computation.
-    #[test]
-    fn tally_matches_two_pass(data in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
-        let mut tally = Tally::new();
-        for &x in &data {
-            tally.record(x);
-        }
-        let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
-        prop_assert!((tally.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((tally.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
-    }
+/// Welford tally agrees with direct two-pass computation.
+#[test]
+fn tally_matches_two_pass() {
+    checker("tally_matches_two_pass").run(
+        vec_of(f64_range(-1e6, 1e6), 2, 200),
+        |data: &Vec<f64>| {
+            let mut tally = Tally::new();
+            for &x in data {
+                tally.record(x);
+            }
+            let mean = data.iter().sum::<f64>() / data.len() as f64;
+            let var =
+                data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+            ensure!(
+                (tally.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()),
+                "mean {} vs {mean}",
+                tally.mean()
+            );
+            ensure!(
+                (tally.variance() - var).abs() < 1e-5 * (1.0 + var.abs()),
+                "variance {} vs {var}",
+                tally.variance()
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Percentiles are monotone in p and bounded by min/max.
-    #[test]
-    fn percentiles_monotone(data in proptest::collection::vec(-1e3f64..1e3, 1..100), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
-        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        let a = percentile(&data, lo);
-        let b = percentile(&data, hi);
-        prop_assert!(a <= b + 1e-12);
-        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
-    }
+/// Percentiles are monotone in p and bounded by min/max.
+#[test]
+fn percentiles_monotone() {
+    checker("percentiles_monotone").run(
+        zip3(
+            vec_of(f64_range(-1e3, 1e3), 1, 100),
+            f64_range(0.0, 100.0),
+            f64_range(0.0, 100.0),
+        ),
+        |(data, p1, p2): &(Vec<f64>, f64, f64)| {
+            let (lo, hi) = if p1 <= p2 { (*p1, *p2) } else { (*p2, *p1) };
+            let a = percentile(data, lo);
+            let b = percentile(data, hi);
+            ensure!(a <= b + 1e-12, "p{lo} = {a} above p{hi} = {b}");
+            let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            ensure!(a >= min - 1e-12 && b <= max + 1e-12, "percentiles outside [min, max]");
+            Ok(())
+        },
+    );
 }

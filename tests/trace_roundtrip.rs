@@ -1,0 +1,28 @@
+//! Cross-crate check that real simulator traces survive JSONL persistence
+//! byte-identically — the full-corpus counterpart of the hand-built golden
+//! fixtures in `crates/trace/tests/golden_jsonl.rs`.
+
+use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+use kooza_trace::TraceSet;
+
+#[test]
+fn simulator_traces_round_trip_byte_identically() {
+    // A real trace from the GFS simulator (floats, sampling, hundreds of
+    // spans) must be a fixed point of write → read → write.
+    for (workload, seed) in [
+        (WorkloadMix::mixed(), 7u64),
+        (WorkloadMix::read_heavy(), 11),
+        (WorkloadMix::write_heavy(), 13),
+    ] {
+        let mut config = ClusterConfig::small();
+        config.workload = workload;
+        let outcome = Cluster::new(config).unwrap().run(200, seed);
+        let mut first = Vec::new();
+        outcome.trace.write_jsonl(&mut first).unwrap();
+        let reread = TraceSet::read_jsonl(first.as_slice()).unwrap();
+        assert_eq!(reread, outcome.trace);
+        let mut second = Vec::new();
+        reread.write_jsonl(&mut second).unwrap();
+        assert_eq!(first, second);
+    }
+}
