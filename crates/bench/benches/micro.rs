@@ -5,8 +5,9 @@
 
 use std::hint::black_box;
 
-use kooza::{Kooza, WorkloadModel};
+use kooza::{Kooza, KoozaFleet, WorkloadModel};
 use kooza_bench::harness::Harness;
+use kooza_exec::Pool;
 use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
 use kooza_markov::{GaussianHmm, MarkovChainBuilder};
 use kooza_queueing::arrival::PoissonArrivals;
@@ -167,7 +168,7 @@ fn bench_gfs_cluster(h: &mut Harness) {
         b.iter(|| {
             let mut config = ClusterConfig::small();
             config.workload = WorkloadMix::read_heavy();
-            let mut cluster = Cluster::new(config).unwrap();
+            let mut cluster = Cluster::new(&config).unwrap();
             black_box(cluster.run(2_000, 10).stats.completed)
         })
     });
@@ -176,7 +177,7 @@ fn bench_gfs_cluster(h: &mut Harness) {
 fn bench_kooza_pipeline(h: &mut Harness) {
     let mut config = ClusterConfig::small();
     config.workload = WorkloadMix::read_heavy();
-    let trace = Cluster::new(config).unwrap().run(1_000, 11).trace;
+    let trace = Cluster::new(&config).unwrap().run(1_000, 11).trace;
     h.bench_function("kooza_fit_1k_requests", |b| {
         b.iter(|| black_box(Kooza::fit(&trace).unwrap().trained_requests()))
     });
@@ -184,6 +185,59 @@ fn bench_kooza_pipeline(h: &mut Harness) {
     h.bench_function("kooza_generate_1k", |b| {
         let mut rng = Rng64::new(12);
         b.iter(|| black_box(model.generate(1_000, &mut rng).len()))
+    });
+}
+
+fn bench_exec_par_map(h: &mut Harness) {
+    // A CPU-bound map over 256 items: the serial/parallel pair measures the
+    // pool's dispatch overhead and, on multi-core hosts, its speedup. The
+    // work body is pure integer arithmetic so both variants are exact.
+    let items: Vec<u64> = (0..256).collect();
+    fn work(x: &u64) -> u64 {
+        let mut acc = *x;
+        for _ in 0..20_000 {
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        acc
+    }
+    h.bench_function("exec_par_map_serial_256", |b| {
+        let pool = Pool::with_threads(1);
+        b.iter(|| black_box(pool.par_map(&items, work)))
+    });
+    h.bench_function("exec_par_map_256", |b| {
+        let pool = Pool::new();
+        b.iter(|| black_box(pool.par_map(&items, work)))
+    });
+}
+
+fn bench_fleet_train(h: &mut Harness) {
+    // Per-server KOOZA training on a 4-server replicated cluster. The
+    // serial baseline fits each server's view in a loop; the parallel
+    // variant is the production `KoozaFleet::fit_views` path. The ratio of
+    // their medians is the fleet-training speedup (reported in the
+    // KOOZA_BENCH_JSON output; ~1.0 on a single-core host).
+    let n_servers = 4;
+    let mut config = ClusterConfig::cluster(n_servers);
+    config.workload = WorkloadMix {
+        read_fraction: 1.0,
+        mean_interarrival_secs: 0.008,
+        n_chunks: 4000,
+        zipf_skew: 0.8,
+        ..WorkloadMix::read_heavy()
+    };
+    let outcome = Cluster::new(&config).unwrap().run(2_000, 14);
+    let views = outcome.server_views();
+    h.bench_function("fleet_serial_train", |b| {
+        b.iter(|| {
+            let fleet: Vec<Kooza> =
+                views.iter().map(|v| Kooza::fit_view(v).unwrap()).collect();
+            black_box(fleet.len())
+        })
+    });
+    h.bench_function("fleet_parallel_train", |b| {
+        b.iter(|| black_box(KoozaFleet::fit_views(&views).unwrap().len()))
     });
 }
 
@@ -201,5 +255,7 @@ fn main() {
     bench_mva(&mut h);
     bench_gfs_cluster(&mut h);
     bench_kooza_pipeline(&mut h);
+    bench_exec_par_map(&mut h);
+    bench_fleet_train(&mut h);
     h.finish();
 }

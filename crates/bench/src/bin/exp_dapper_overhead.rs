@@ -23,7 +23,7 @@ fn main() {
     let mut config = ClusterConfig::small();
     config.workload = base_workload;
     config.tracing_overhead_secs = 0.0;
-    let mut cluster = Cluster::new(config).expect("config");
+    let mut cluster = Cluster::new(&config).expect("config");
     let baseline = cluster.run(n_requests, EXPERIMENT_SEED);
     let baseline_latency = baseline.stats.latency_secs.mean();
 
@@ -37,7 +37,7 @@ fn main() {
         config.workload = base_workload;
         config.trace_sampling = rate;
         config.tracing_overhead_secs = 10e-6;
-        let mut cluster = Cluster::new(config).expect("config");
+        let mut cluster = Cluster::new(&config).expect("config");
         let outcome = cluster.run(n_requests, EXPERIMENT_SEED);
         let traced = outcome.requests.iter().filter(|r| r.sampled).count();
         let overhead = outcome.stats.tracing_overhead_fraction() * 100.0;

@@ -27,7 +27,7 @@ fn main() {
     };
     // Disable the RAM cache so storage locality carries the signal.
     config.memory.cache_chunks = 1;
-    let outcome = Cluster::new(config.clone()).expect("config").run(3000, EXPERIMENT_SEED);
+    let outcome = Cluster::new(&config).expect("config").run(3000, EXPERIMENT_SEED);
     let observations = assemble_observations(&outcome.trace).expect("assembles");
 
     section("detail sweep");
@@ -44,15 +44,20 @@ fn main() {
             KoozaOptions { lbn_buckets: 512, cpu_bins: 5 },
         ),
     ];
-    for (label, options) in sweeps {
-        let model = Kooza::fit_with(&outcome.trace, options).expect("trains");
+    // Each sweep point trains and validates its own model from the shared
+    // trace; the points fan out over kooza-exec and print in sweep order.
+    let rows = kooza_exec::par_map(&sweeps, |(label, options)| {
+        let model = Kooza::fit_with(&outcome.trace, *options).expect("trains");
         let mut rng = Rng64::new(EXPERIMENT_SEED + 5);
         let synthetic = model.generate(3000, &mut rng);
         let report = validate(&model, &observations, &synthetic, ReplayConfig::from(&config));
+        (*label, model.parameter_count(), report)
+    });
+    for (label, params, report) in rows {
         println!(
             "{:>22} {:>10} {:>13.2}% {:>13.2}%",
             label,
-            model.parameter_count(),
+            params,
             report.max_feature_variation(),
             report.latency_variation().unwrap_or(f64::NAN)
         );

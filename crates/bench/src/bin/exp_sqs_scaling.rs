@@ -40,19 +40,26 @@ fn main() {
         "{:>10} {:>14} {:>14} {:>14} {:>12} {:>12}",
         "sampling", "kept obs", "mean (ms)", "p99 (ms)", "mean err", "p99 err"
     );
-    for rate in [1usize, 5, 20, 100, 500, 2000] {
+    // Each sampling rate is an independent characterize + simulate with its
+    // own RNG, so the sweep fans out over kooza-exec; rows print in sweep
+    // order regardless of which finishes first.
+    let rates = [1usize, 5, 20, 100, 500, 2000];
+    let rows = kooza_exec::par_map(&rates, |&rate| {
         let model = SqsModel::characterize_sampled(&interarrivals, &services, rate)
             .expect("characterize");
         let mut sim_rng = Rng64::new(EXPERIMENT_SEED + 1);
         let summary = model
             .latency_summary(1, 120_000, &mut sim_rng)
             .expect("simulation");
+        (rate, model.observed(), summary)
+    });
+    for (rate, observed, summary) in rows {
         let mean_err = (summary.mean - reference.mean).abs() / reference.mean * 100.0;
         let p99_err = (summary.p99 - reference.p99).abs() / reference.p99 * 100.0;
         println!(
             "{:>9}x {:>14} {:>14.3} {:>14.3} {:>11.1}% {:>11.1}%",
             rate,
-            model.observed(),
+            observed,
             summary.mean * 1e3,
             summary.p99 * 1e3,
             mean_err,

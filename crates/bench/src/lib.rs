@@ -37,7 +37,7 @@ pub fn read_64k_cluster() -> (ClusterConfig, Cluster) {
         zipf_skew: 0.5,
         ..WorkloadMix::read_heavy()
     };
-    let cluster = Cluster::new(config.clone()).expect("valid config");
+    let cluster = Cluster::new(&config).expect("valid config");
     (config, cluster)
 }
 
@@ -46,7 +46,7 @@ pub fn read_64k_cluster() -> (ClusterConfig, Cluster) {
 pub fn write_4m_cluster() -> (ClusterConfig, Cluster) {
     let mut config = ClusterConfig::small();
     config.workload = WorkloadMix::write_heavy();
-    let cluster = Cluster::new(config.clone()).expect("valid config");
+    let cluster = Cluster::new(&config).expect("valid config");
     (config, cluster)
 }
 
@@ -58,7 +58,7 @@ pub fn mixed_cluster() -> (ClusterConfig, Cluster) {
         n_chunks: 120,
         ..WorkloadMix::mixed()
     };
-    let cluster = Cluster::new(config.clone()).expect("valid config");
+    let cluster = Cluster::new(&config).expect("valid config");
     (config, cluster)
 }
 

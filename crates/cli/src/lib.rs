@@ -42,7 +42,13 @@ commands:
   validate     --trace <path> [--n N] [--seed S]
                train, generate, and compare features/latency (Table 2)
   crossexam    --trace <path> [--n N] [--seed S]
-               score kooza vs in-breadth vs in-depth on this trace (Table 1)";
+               score kooza vs in-breadth vs in-depth on this trace (Table 1)
+  help         print this message
+
+global options (accepted by every command):
+  --threads N  worker threads for the parallel pipeline stages; results
+               are bit-identical at any thread count
+               (precedence: --threads > KOOZA_THREADS env > detected cores)";
 
 /// A CLI failure: bad arguments or a failing pipeline stage.
 #[derive(Debug)]
@@ -119,7 +125,19 @@ impl Options {
 /// traces, or failing pipeline stages.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (command, rest) = args.split_first().ok_or_else(|| err("no command given"))?;
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        return Ok(USAGE.to_string());
+    }
     let opts = Options::parse(rest)?;
+    if let Some(v) = opts.get("threads") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| err(format!("--threads: cannot parse `{v}`")))?;
+        if n == 0 {
+            return Err(err("--threads must be at least 1"));
+        }
+        kooza_exec::set_thread_override(Some(n));
+    }
     match command.as_str() {
         "simulate" => simulate(&opts),
         "characterize" => characterize(&opts),
@@ -161,7 +179,7 @@ fn simulate(opts: &Options) -> Result<String, CliError> {
     };
     config.workload = workload;
     config.consult_master = opts.has_flag("consult-master");
-    let mut cluster = Cluster::new(config).map_err(|e| err(e.to_string()))?;
+    let mut cluster = Cluster::new(&config).map_err(|e| err(e.to_string()))?;
     let outcome = cluster.run(requests, seed);
 
     let file = File::create(out).map_err(|e| err(format!("cannot create {out}: {e}")))?;
@@ -347,6 +365,32 @@ mod tests {
         .unwrap();
         assert!(out.contains("3 server(s)"), "{out}");
         cleanup(&path);
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        for cmd in ["help", "--help", "-h"] {
+            let out = run(&args(cmd)).unwrap();
+            assert!(out.contains("usage: kooza"), "{out}");
+            assert!(out.contains("--threads"), "{out}");
+        }
+    }
+
+    #[test]
+    fn threads_flag_sets_override() {
+        let path = temp_path("threads");
+        let out = run(&args(&format!(
+            "simulate --out {path} --requests 50 --seed 6 --threads 2"
+        )))
+        .unwrap();
+        assert!(out.contains("simulated 50 requests"), "{out}");
+        assert_eq!(kooza_exec::thread_override(), Some(2));
+        kooza_exec::set_thread_override(None);
+        cleanup(&path);
+
+        assert!(run(&args("simulate --out /tmp/x --threads 0")).is_err());
+        assert!(run(&args("simulate --out /tmp/x --threads nope")).is_err());
+        assert_eq!(kooza_exec::thread_override(), None);
     }
 
     #[test]

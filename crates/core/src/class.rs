@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use kooza_trace::record::{Direction, IoOp};
+use kooza_trace::view::TraceView;
 use kooza_trace::TraceSet;
 
 use crate::{ModelError, Result};
@@ -103,6 +104,17 @@ fn majority_suffix(ops: impl Iterator<Item = IoOp>) -> &'static str {
 /// records, or [`ModelError::InsufficientRequests`] if no request has a
 /// complete span tree.
 pub fn assemble_observations(trace: &TraceSet) -> Result<Vec<RequestObservation>> {
+    assemble_observations_view(&trace.as_view())
+}
+
+/// [`assemble_observations`] over a borrowed [`TraceView`] — the zero-copy
+/// path parallel per-server training uses (each worker gets a slice of the
+/// one owned cluster trace, never a cloned `TraceSet`).
+///
+/// # Errors
+///
+/// Same as [`assemble_observations`].
+pub fn assemble_observations_view(trace: &TraceView<'_>) -> Result<Vec<RequestObservation>> {
     if trace.network.is_empty() {
         return Err(ModelError::MissingStream("network"));
     }
@@ -139,7 +151,7 @@ pub fn assemble_observations(trace: &TraceSet) -> Result<Vec<RequestObservation>
     if by_request.is_empty() {
         return Err(ModelError::InsufficientRequests { needed: 1, got: 0 });
     }
-    for r in &trace.network {
+    for r in trace.network {
         if let Some(obs) = by_request.get_mut(&r.request_id) {
             match r.direction {
                 Direction::Ingress => obs.network_in_bytes += r.size,
@@ -147,18 +159,18 @@ pub fn assemble_observations(trace: &TraceSet) -> Result<Vec<RequestObservation>
             }
         }
     }
-    for r in &trace.cpu {
+    for r in trace.cpu {
         if let Some(obs) = by_request.get_mut(&r.request_id) {
             obs.cpu_busy_nanos += r.busy_nanos;
             obs.cpu_utilization = r.utilization;
         }
     }
-    for r in &trace.memory {
+    for r in trace.memory {
         if let Some(obs) = by_request.get_mut(&r.request_id) {
             obs.memory.push((r.bank, r.size, r.op));
         }
     }
-    for r in &trace.storage {
+    for r in trace.storage {
         if let Some(obs) = by_request.get_mut(&r.request_id) {
             obs.storage.push((r.lbn, r.size, r.op));
         }
@@ -189,7 +201,7 @@ mod tests {
     fn gfs_trace(mix: WorkloadMix, n: u64) -> TraceSet {
         let mut config = ClusterConfig::small();
         config.workload = mix;
-        Cluster::new(config).unwrap().run(n, 11).trace
+        Cluster::new(&config).unwrap().run(n, 11).trace
     }
 
     #[test]

@@ -163,6 +163,11 @@ fn feature_error(observations: &[RequestObservation], synth: &[crate::SyntheticR
 /// Cross-examines models on a common set of observations: each generates
 /// `n_synthetic` requests (seeded per model for reproducibility), features
 /// are compared, and latency distributions are compared after replay.
+///
+/// The model families are examined concurrently (generation, replay and
+/// scoring are independent per model); every model seeds its own
+/// `Rng64::new(seed)` and rows come back in `models` order, so the table
+/// is bit-identical at any thread count.
 pub fn cross_examine(
     models: &[&dyn WorkloadModel],
     observations: &[RequestObservation],
@@ -174,25 +179,22 @@ pub fn cross_examine(
         .iter()
         .map(|o| o.latency_nanos as f64 / 1e9)
         .collect();
-    let rows = models
-        .iter()
-        .map(|model| {
-            let mut rng = Rng64::new(seed);
-            let synth = model.generate(n_synthetic, &mut rng);
-            let replayed = replay_loaded_latency_secs(&synth, replay_config);
-            let latency_ks = ks_two_sample(&original_latency, &replayed)
-                .map(|t| t.statistic)
-                .unwrap_or(1.0);
-            CrossExamRow {
-                model: model.name().to_string(),
-                feature_error: feature_error(observations, &synth),
-                latency_ks,
-                parameter_count: model.parameter_count(),
-                claims_features: model.captures_request_features(),
-                claims_time_deps: model.captures_time_dependencies(),
-            }
-        })
-        .collect();
+    let rows = kooza_exec::par_map(models, |model| {
+        let mut rng = Rng64::new(seed);
+        let synth = model.generate(n_synthetic, &mut rng);
+        let replayed = replay_loaded_latency_secs(&synth, replay_config);
+        let latency_ks = ks_two_sample(&original_latency, &replayed)
+            .map(|t| t.statistic)
+            .unwrap_or(1.0);
+        CrossExamRow {
+            model: model.name().to_string(),
+            feature_error: feature_error(observations, &synth),
+            latency_ks,
+            parameter_count: model.parameter_count(),
+            claims_features: model.captures_request_features(),
+            claims_time_deps: model.captures_time_dependencies(),
+        }
+    });
     CrossExamTable { rows }
 }
 
@@ -211,7 +213,7 @@ mod tests {
             n_chunks: 120,
             ..WorkloadMix::mixed()
         };
-        let trace = Cluster::new(config.clone()).unwrap().run(1500, 91).trace;
+        let trace = Cluster::new(&config).unwrap().run(1500, 91).trace;
         (config, trace)
     }
 

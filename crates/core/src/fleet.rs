@@ -5,8 +5,14 @@
 //! trains one [`Kooza`] per server from the per-server trace split the GFS
 //! simulator provides, and generates per-server synthetic streams — the
 //! unit of large-scale DC simulation §5 argues for.
+//!
+//! Training and generation fan out over `kooza-exec`: each server is an
+//! independent task, per-task randomness comes from serially pre-forked
+//! child generators, and results merge in server order — so the fleet is
+//! bit-identical at any thread count.
 
 use kooza_sim::rng::Rng64;
+use kooza_trace::view::TraceView;
 use kooza_trace::TraceSet;
 
 use crate::kooza::Kooza;
@@ -30,10 +36,26 @@ impl KoozaFleet {
     /// Propagates the first per-server training failure, or errors on an
     /// empty fleet.
     pub fn fit(per_server_traces: &[TraceSet]) -> Result<Self> {
-        if per_server_traces.is_empty() {
+        let views: Vec<TraceView<'_>> = per_server_traces.iter().map(TraceSet::as_view).collect();
+        Self::fit_views(&views)
+    }
+
+    /// Trains one model per borrowed server view — the zero-copy path for
+    /// [`kooza_gfs::ClusterOutcome::server_views`]: the cluster trace is
+    /// stored once and each training task reads its server's slice.
+    /// Per-server fits run in parallel; fitting draws no randomness, so
+    /// the result is identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-server training failure, or errors on an
+    /// empty fleet.
+    pub fn fit_views(views: &[TraceView<'_>]) -> Result<Self> {
+        if views.is_empty() {
             return Err(ModelError::InsufficientRequests { needed: 1, got: 0 });
         }
-        let servers: Result<Vec<Kooza>> = per_server_traces.iter().map(Kooza::fit).collect();
+        let servers: Result<Vec<Kooza>> =
+            kooza_exec::par_map(views, Kooza::fit_view).into_iter().collect();
         Ok(KoozaFleet { servers: servers? })
     }
 
@@ -70,18 +92,20 @@ impl KoozaFleet {
 
     /// Generates an independent synthetic stream per server (each server's
     /// arrival process and request mix is its own).
+    ///
+    /// The child generators are forked from `rng` serially *before* the
+    /// parallel fan-out, so the output — and the caller's `rng` state
+    /// afterwards — matches the old serial implementation exactly.
     pub fn generate_per_server(
         &self,
         n_per_server: usize,
         rng: &mut Rng64,
     ) -> Vec<Vec<SyntheticRequest>> {
-        self.servers
-            .iter()
-            .map(|m| {
-                let mut child = rng.fork();
-                m.generate(n_per_server, &mut child)
-            })
-            .collect()
+        let children: Vec<Rng64> = self.servers.iter().map(|_| rng.fork()).collect();
+        kooza_exec::par_map_indexed(&children, |server, child| {
+            let mut child = child.clone();
+            self.servers[server].generate(n_per_server, &mut child)
+        })
     }
 
     /// Aggregate fleet arrival rate (sum of per-server rates), req/s.
@@ -104,27 +128,28 @@ mod tests {
             zipf_skew: 0.8,
             ..WorkloadMix::read_heavy()
         };
-        Cluster::new(config).unwrap().run(3000, 2200)
+        Cluster::new(&config).unwrap().run(3000, 2200)
     }
 
     #[test]
-    fn per_server_traces_partition_the_cluster_trace() {
+    fn per_server_views_partition_the_cluster_trace() {
         let outcome = multi_server_outcome();
-        assert_eq!(outcome.per_server_traces.len(), 3);
-        let total_net: usize = outcome.per_server_traces.iter().map(|t| t.network.len()).sum();
+        let views = outcome.server_views();
+        assert_eq!(views.len(), 3);
+        let total_net: usize = views.iter().map(|v| v.network.len()).sum();
         assert_eq!(total_net, outcome.trace.network.len());
-        let total_cpu: usize = outcome.per_server_traces.iter().map(|t| t.cpu.len()).sum();
+        let total_cpu: usize = views.iter().map(|v| v.cpu.len()).sum();
         assert_eq!(total_cpu, outcome.trace.cpu.len());
         // Reads spread across replicas: every server served a share.
-        for t in &outcome.per_server_traces {
-            assert!(t.cpu.len() > 300, "server saw only {} requests", t.cpu.len());
+        for v in &views {
+            assert!(v.cpu.len() > 300, "server saw only {} requests", v.cpu.len());
         }
     }
 
     #[test]
     fn fleet_trains_and_generates() {
         let outcome = multi_server_outcome();
-        let fleet = KoozaFleet::fit(&outcome.per_server_traces).unwrap();
+        let fleet = KoozaFleet::fit_views(&outcome.server_views()).unwrap();
         assert_eq!(fleet.len(), 3);
         assert!(!fleet.is_empty());
         let mut rng = Rng64::new(1);
@@ -137,9 +162,25 @@ mod tests {
     }
 
     #[test]
+    fn parallel_generation_is_deterministic() {
+        let outcome = multi_server_outcome();
+        let fleet = KoozaFleet::fit_views(&outcome.server_views()).unwrap();
+        // Same seed → identical streams, and the caller's RNG leaves in
+        // the same state (children are forked serially before the fan-
+        // out). Thread-count invariance of the whole pipeline is pinned
+        // by the umbrella determinism test, which owns its process.
+        let mut rng_a = Rng64::new(77);
+        let mut rng_b = Rng64::new(77);
+        let a = fleet.generate_per_server(50, &mut rng_a);
+        let b = fleet.generate_per_server(50, &mut rng_b);
+        assert_eq!(a, b);
+        assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
     fn aggregate_rate_matches_cluster_rate() {
         let outcome = multi_server_outcome();
-        let fleet = KoozaFleet::fit(&outcome.per_server_traces).unwrap();
+        let fleet = KoozaFleet::fit_views(&outcome.server_views()).unwrap();
         // Cluster offered 100 req/s; per-server models should sum back.
         let agg = fleet.aggregate_rate();
         assert!((agg - 100.0).abs() < 12.0, "aggregate rate {agg}");
@@ -148,7 +189,7 @@ mod tests {
     #[test]
     fn per_server_models_reflect_per_server_load() {
         let outcome = multi_server_outcome();
-        let fleet = KoozaFleet::fit(&outcome.per_server_traces).unwrap();
+        let fleet = KoozaFleet::fit_views(&outcome.server_views()).unwrap();
         for (i, model) in fleet.iter().enumerate() {
             let rate = model.network().mean_rate();
             // 3-way-replicated reads split roughly evenly.
@@ -157,12 +198,23 @@ mod tests {
     }
 
     #[test]
+    fn owned_trace_fit_still_works() {
+        // The owned-TraceSet entry point stays as a thin wrapper.
+        let outcome = multi_server_outcome();
+        let owned: Vec<TraceSet> =
+            outcome.server_views().iter().map(|v| v.to_owned_set()).collect();
+        let fleet = KoozaFleet::fit(&owned).unwrap();
+        assert_eq!(fleet.len(), 3);
+    }
+
+    #[test]
     fn empty_fleet_rejected() {
         assert!(KoozaFleet::fit(&[]).is_err());
+        assert!(KoozaFleet::fit_views(&[]).is_err());
         // A server with an empty trace fails loudly.
         let outcome = multi_server_outcome();
-        let mut traces = outcome.per_server_traces;
-        traces.push(TraceSet::new());
-        assert!(KoozaFleet::fit(&traces).is_err());
+        let mut views = outcome.server_views();
+        views.push(TraceView::default());
+        assert!(KoozaFleet::fit_views(&views).is_err());
     }
 }

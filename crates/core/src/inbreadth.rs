@@ -115,7 +115,7 @@ mod tests {
     fn trace(mix: WorkloadMix, n: u64, seed: u64) -> TraceSet {
         let mut config = ClusterConfig::small();
         config.workload = mix;
-        Cluster::new(config).unwrap().run(n, seed).trace
+        Cluster::new(&config).unwrap().run(n, seed).trace
     }
 
     #[test]

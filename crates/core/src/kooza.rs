@@ -3,9 +3,10 @@
 use kooza_sim::rng::Rng64;
 use kooza_stats::dist::Distribution;
 use kooza_trace::record::IoOp;
+use kooza_trace::view::TraceView;
 use kooza_trace::TraceSet;
 
-use crate::class::assemble_observations;
+use crate::class::assemble_observations_view;
 use crate::structure::StructureModel;
 use crate::subsystem::{CpuChainModel, MemoryChainModel, NetworkModel, StorageChainModel};
 use crate::{PhaseDemand, Result, SyntheticRequest, WorkloadModel};
@@ -88,7 +89,27 @@ impl Kooza {
     ///
     /// Same as [`fit`](Kooza::fit), plus invalid (zero) knob values.
     pub fn fit_with(trace: &TraceSet, options: KoozaOptions) -> Result<Self> {
-        let observations = assemble_observations(trace)?;
+        Self::fit_with_view(&trace.as_view(), options)
+    }
+
+    /// Trains on a borrowed [`TraceView`] with default detail — the
+    /// zero-copy path [`crate::KoozaFleet`] uses to train one model per
+    /// server-slice of a single owned cluster trace.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fit`](Kooza::fit).
+    pub fn fit_view(trace: &TraceView<'_>) -> Result<Self> {
+        Self::fit_with_view(trace, KoozaOptions::default())
+    }
+
+    /// Trains on a borrowed [`TraceView`] with explicit detail knobs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`fit_with`](Kooza::fit_with).
+    pub fn fit_with_view(trace: &TraceView<'_>, options: KoozaOptions) -> Result<Self> {
+        let observations = assemble_observations_view(trace)?;
         let network = NetworkModel::fit(&observations)?;
         let cpu = CpuChainModel::fit_with_bins(&observations, options.cpu_bins)?;
         // Memory/storage streams may legitimately be absent (e.g. a fully
@@ -248,7 +269,7 @@ mod tests {
     fn trace(mix: WorkloadMix, n: u64, seed: u64) -> TraceSet {
         let mut config = ClusterConfig::small();
         config.workload = mix;
-        Cluster::new(config).unwrap().run(n, seed).trace
+        Cluster::new(&config).unwrap().run(n, seed).trace
     }
 
     #[test]
@@ -345,7 +366,7 @@ mod tests {
         config.consult_master = true;
         config.workload =
             WorkloadMix { n_chunks: 100_000, zipf_skew: 0.5, ..WorkloadMix::read_heavy() };
-        let outcome = Cluster::new(config).unwrap().run(400, 52);
+        let outcome = Cluster::new(&config).unwrap().run(400, 52);
         let model = Kooza::fit(&outcome.trace).unwrap();
         let dominant = model.structure().dominant();
         assert_eq!(dominant.signature.0.first().map(String::as_str), Some("master.lookup"));

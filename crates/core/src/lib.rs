@@ -36,7 +36,7 @@
 //! // 1. Produce a training trace from the GFS simulator.
 //! let mut config = ClusterConfig::small();
 //! config.workload = WorkloadMix::read_heavy();
-//! let outcome = Cluster::new(config)?.run(500, 1);
+//! let outcome = Cluster::new(&config)?.run(500, 1);
 //!
 //! // 2. Train KOOZA on it.
 //! let model = Kooza::fit(&outcome.trace)?;
@@ -68,7 +68,11 @@ pub use class::{ClassSignature, RequestObservation};
 pub use fleet::KoozaFleet;
 pub use inbreadth::InBreadthModel;
 pub use indepth::InDepthModel;
-pub use replay::{replay_latency_secs, replay_loaded_latency_secs, ReplayConfig};
+pub use replay::{
+    replay_latency_secs, replay_loaded_latency_secs, replay_loaded_latency_secs_batches,
+    ReplayConfig,
+};
+pub use validate::{validate_batch, ValidationCase};
 
 use kooza_sim::rng::Rng64;
 use kooza_trace::record::IoOp;
@@ -169,25 +173,30 @@ impl SyntheticRequest {
 
     /// Total memory bytes with the dominant op, if any memory phase exists.
     pub fn memory_demand(&self) -> Option<(u64, IoOp)> {
-        let mut bytes = 0;
-        let mut op = None;
-        for p in &self.phases {
-            if let PhaseDemand::Memory { bytes: b, op: o, .. } = p {
-                bytes += b;
-                op.get_or_insert(*o);
-            }
-        }
-        op.map(|o| (bytes, o))
+        self.demand(|p| match p {
+            PhaseDemand::Memory { bytes, op, .. } => Some((*bytes, *op)),
+            _ => None,
+        })
     }
 
     /// Total disk bytes with the dominant op, if any disk phase exists.
     pub fn disk_demand(&self) -> Option<(u64, IoOp)> {
+        self.demand(|p| match p {
+            PhaseDemand::Disk { bytes, op, .. } => Some((*bytes, *op)),
+            _ => None,
+        })
+    }
+
+    /// Sums the bytes of phases matched by `pick`; the op of the *first*
+    /// matching phase wins (the request's dominant access type). `None`
+    /// when no phase matches.
+    fn demand(&self, pick: impl Fn(&PhaseDemand) -> Option<(u64, IoOp)>) -> Option<(u64, IoOp)> {
         let mut bytes = 0;
         let mut op = None;
         for p in &self.phases {
-            if let PhaseDemand::Disk { bytes: b, op: o, .. } = p {
+            if let Some((b, o)) = pick(p) {
                 bytes += b;
-                op.get_or_insert(*o);
+                op.get_or_insert(o);
             }
         }
         op.map(|o| (bytes, o))
@@ -198,7 +207,11 @@ impl SyntheticRequest {
 ///
 /// The three families the paper cross-examines all implement this; the
 /// validation and cross-examination harnesses are written once against it.
-pub trait WorkloadModel: std::fmt::Debug {
+///
+/// `Sync` is part of the contract: the cross-examination harness hands
+/// `&dyn WorkloadModel` references to `kooza-exec` worker threads, one
+/// model family per task.
+pub trait WorkloadModel: std::fmt::Debug + Sync {
     /// Model family name (`"kooza"`, `"in-breadth"`, `"in-depth"`).
     fn name(&self) -> &'static str;
 
@@ -273,3 +286,41 @@ impl From<kooza_markov::MarkovError> for ModelError {
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_sums_bytes_and_first_op_wins() {
+        // Pins the accumulation semantics shared by memory_demand and
+        // disk_demand: bytes sum across matching phases, the first
+        // matching phase's op is the reported (dominant) op, and phases
+        // of other kinds are ignored.
+        let req = SyntheticRequest {
+            interarrival_secs: 0.0,
+            phases: vec![
+                PhaseDemand::NetworkIn { bytes: 1024 },
+                PhaseDemand::Memory { bank: 0, bytes: 100, op: IoOp::Write },
+                PhaseDemand::Disk { lbn: 7, bytes: 4096, op: IoOp::Read },
+                PhaseDemand::Memory { bank: 1, bytes: 28, op: IoOp::Read },
+                PhaseDemand::Disk { lbn: 8, bytes: 512, op: IoOp::Write },
+                PhaseDemand::NetworkOut { bytes: 2048 },
+            ],
+        };
+        assert_eq!(req.memory_demand(), Some((128, IoOp::Write)));
+        assert_eq!(req.disk_demand(), Some((4608, IoOp::Read)));
+
+        let no_io = SyntheticRequest {
+            interarrival_secs: 0.0,
+            phases: vec![
+                PhaseDemand::NetworkIn { bytes: 1024 },
+                PhaseDemand::Cpu { busy_nanos: 10 },
+                PhaseDemand::Opaque { duration_nanos: 20 },
+            ],
+        };
+        assert_eq!(no_io.memory_demand(), None);
+        assert_eq!(no_io.disk_demand(), None);
+        assert_eq!(no_io.payload_bytes(), 1024);
+    }
+}

@@ -247,7 +247,7 @@ mod tests {
         // subsystem.
         let mut config = ClusterConfig::small();
         config.workload = WorkloadMix::read_heavy();
-        let outcome = Cluster::new(config.clone()).unwrap().run(500, 2100);
+        let outcome = Cluster::new(&config).unwrap().run(500, 2100);
         let power = PowerParams::default();
         let replay = ReplayConfig::from(&config);
 

@@ -97,6 +97,18 @@ pub fn replay_latency_secs(requests: &[SyntheticRequest], config: ReplayConfig) 
     requests.iter().map(|r| replayer.latency_secs(r)).collect()
 }
 
+/// Replays several independent batches concurrently (each on its own
+/// fresh hardware state), returning per-batch latency vectors in batch
+/// order. Identical to calling [`replay_loaded_latency_secs`] per batch
+/// serially: contention exists within a batch, never across batches —
+/// the unit of parallelism for per-server and per-class replay.
+pub fn replay_loaded_latency_secs_batches(
+    batches: &[Vec<SyntheticRequest>],
+    config: ReplayConfig,
+) -> Vec<Vec<f64>> {
+    kooza_exec::par_map(batches, |batch| replay_loaded_latency_secs(batch, config))
+}
+
 /// Replays requests **with contention**: requests arrive at their
 /// generated inter-arrival times and queue at the CPU (cores), disk
 /// (single spindle) and NIC (one ingress, one egress channel), exactly as
@@ -319,6 +331,18 @@ mod tests {
         let fast = replay_latency_secs(&reqs, fast_cfg);
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(&fast) < mean(&slow) * 0.7, "fast {} slow {}", mean(&fast), mean(&slow));
+    }
+
+    #[test]
+    fn batched_loaded_replay_matches_serial() {
+        let batches: Vec<Vec<SyntheticRequest>> = (0..3)
+            .map(|b| (0..20).map(|i| read_request(65536, (b * 100 + i) * 500_000)).collect())
+            .collect();
+        let parallel = replay_loaded_latency_secs_batches(&batches, ReplayConfig::default());
+        assert_eq!(parallel.len(), 3);
+        for (batch, latencies) in batches.iter().zip(&parallel) {
+            assert_eq!(*latencies, replay_loaded_latency_secs(batch, ReplayConfig::default()));
+        }
     }
 
     #[test]

@@ -175,7 +175,7 @@ mod tests {
     fn observations(mix: WorkloadMix, n: u64, seed: u64) -> Vec<RequestObservation> {
         let mut config = ClusterConfig::small();
         config.workload = mix;
-        let trace = Cluster::new(config).unwrap().run(n, seed).trace;
+        let trace = Cluster::new(&config).unwrap().run(n, seed).trace;
         assemble_observations(&trace).unwrap()
     }
 

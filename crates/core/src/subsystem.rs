@@ -444,7 +444,7 @@ mod tests {
     fn observations(mix: WorkloadMix, n: u64) -> Vec<RequestObservation> {
         let mut config = ClusterConfig::small();
         config.workload = mix;
-        let trace = Cluster::new(config).unwrap().run(n, 21).trace;
+        let trace = Cluster::new(&config).unwrap().run(n, 21).trace;
         assemble_observations(&trace).unwrap()
     }
 

@@ -1,0 +1,262 @@
+//! Deterministic parallel execution for the KOOZA workspace.
+//!
+//! Every pipeline stage that fans out over independent units of work —
+//! per-server model training, per-model cross-examination, per-trial
+//! cluster runs, experiment sweeps — goes through this crate. The contract
+//! is **bit-determinism regardless of thread count**:
+//!
+//! * results are merged in *submission* order, never completion order
+//!   (ordered reduction), so `par_map` output is indistinguishable from
+//!   `iter().map().collect()`;
+//! * task bodies derive any randomness from their task *index* (see
+//!   `Rng64::for_stream` in `kooza-sim`), never from shared mutable state
+//!   or wall-clock time;
+//! * a thread count of 1 takes the exact serial code path — no pool, no
+//!   chunking, no atomics.
+//!
+//! The pool is std-only (scoped threads, no external crates) so the
+//! workspace stays hermetic.
+//!
+//! # Thread-count resolution
+//!
+//! Highest precedence first:
+//!
+//! 1. a process-wide override set with [`set_thread_override`] (the CLI's
+//!    `--threads N` flag lands here);
+//! 2. the `KOOZA_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! ```
+//! let doubled = kooza_exec::par_map(&[1u64, 2, 3, 4], |x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6, 8]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread override; 0 means "unset".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment variable consulted when no override is set.
+pub const THREADS_ENV: &str = "KOOZA_THREADS";
+
+/// Sets a process-wide thread-count override (use `None` to clear).
+///
+/// Takes precedence over `KOOZA_THREADS` and the detected parallelism.
+/// A `Some(0)` is treated as `Some(1)`: the serial path.
+pub fn set_thread_override(threads: Option<usize>) {
+    let value = match threads {
+        None => 0,
+        Some(n) => n.max(1),
+    };
+    THREAD_OVERRIDE.store(value, Ordering::SeqCst);
+}
+
+/// The current process-wide override, if any.
+pub fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Resolves the effective thread count: override, then `KOOZA_THREADS`,
+/// then detected parallelism (1 if detection fails). Always ≥ 1.
+pub fn resolved_threads() -> usize {
+    if let Some(n) = thread_override() {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A scoped thread pool with a fixed thread count.
+///
+/// The pool spawns threads per call (scoped, so borrowed inputs work) and
+/// merges results in submission order. Construction is cheap; there is no
+/// persistent worker state to poison determinism between calls.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+impl Pool {
+    /// A pool with the [`resolved_threads`] count.
+    pub fn new() -> Self {
+        Pool { threads: resolved_threads() }
+    }
+
+    /// A pool with an explicit thread count (0 is clamped to 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Pool { threads: threads.max(1) }
+    }
+
+    /// The number of worker threads this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning results in item order.
+    ///
+    /// With 1 thread (or ≤ 1 item) this is exactly
+    /// `items.iter().map(f).collect()` — same code path, same order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_indexed(items, |_, item| f(item))
+    }
+
+    /// Like [`Pool::par_map`], but `f` also receives the item index —
+    /// the hook for per-task RNG streams (`Rng64::for_stream(seed, i)`).
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 {
+            // The exact serial path: no pool, no chunking, no atomics.
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let workers = self.threads.min(n);
+        // More chunks than workers so an unlucky slow chunk cannot leave
+        // the rest of the pool idle; chunk identity (not completion time)
+        // decides merge order.
+        let n_chunks = n.min(workers * 4);
+        let chunk_size = n.div_ceil(n_chunks);
+        let next_chunk = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
+                    }
+                    let lo = chunk * chunk_size;
+                    let hi = ((chunk + 1) * chunk_size).min(n);
+                    let results: Vec<R> =
+                        (lo..hi).map(|i| f(i, &items[i])).collect();
+                    done.lock().expect("worker panicked holding results").push((chunk, results));
+                });
+            }
+        });
+        // Ordered reduction: merge by chunk id = submission order.
+        let mut chunks = done.into_inner().expect("worker panicked holding results");
+        chunks.sort_unstable_by_key(|(chunk, _)| *chunk);
+        debug_assert_eq!(chunks.len(), n_chunks);
+        chunks.into_iter().flat_map(|(_, results)| results).collect()
+    }
+}
+
+/// [`Pool::par_map`] on a pool with the resolved thread count.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    Pool::new().par_map(items, f)
+}
+
+/// [`Pool::par_map_indexed`] on a pool with the resolved thread count.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    Pool::new().par_map_indexed(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_submission_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let got = Pool::with_threads(threads).par_map(&items, |x| x * x + 1);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn indexed_map_sees_correct_indices() {
+        let items = vec!["a"; 100];
+        for threads in [1, 4] {
+            let got = Pool::with_threads(threads).par_map_indexed(&items, |i, s| format!("{s}{i}"));
+            for (i, s) in got.iter().enumerate() {
+                assert_eq!(s, &format!("a{i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(Pool::with_threads(8).par_map(&empty, |x| x + 1).is_empty());
+        assert_eq!(Pool::with_threads(8).par_map(&[41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn uneven_chunks_cover_every_item() {
+        // Sizes that do not divide evenly by workers * 4.
+        for n in [2usize, 5, 17, 63, 64, 65, 1001] {
+            let items: Vec<usize> = (0..n).collect();
+            let got = Pool::with_threads(3).par_map(&items, |x| *x);
+            assert_eq!(got, items, "n={n}");
+        }
+    }
+
+    #[test]
+    fn serial_pool_reports_one_thread() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+        assert_eq!(Pool::with_threads(1).threads(), 1);
+        assert_eq!(Pool::with_threads(7).threads(), 7);
+    }
+
+    #[test]
+    fn override_beats_environment() {
+        // The override is process-global; restore it before returning so
+        // other tests in this binary see a clean slate.
+        set_thread_override(Some(3));
+        assert_eq!(thread_override(), Some(3));
+        assert_eq!(resolved_threads(), 3);
+        set_thread_override(None);
+        assert_eq!(thread_override(), None);
+        assert!(resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn borrowed_inputs_work() {
+        // Scoped threads: closures may borrow from the caller's stack.
+        let base = vec![10u64, 20, 30];
+        let offsets: Vec<u64> = (0..50).collect();
+        let got = Pool::with_threads(4).par_map(&offsets, |o| base[(*o % 3) as usize] + o);
+        assert_eq!(got.len(), 50);
+        assert_eq!(got[0], 10);
+        assert_eq!(got[4], 24);
+    }
+}

@@ -18,6 +18,7 @@ use kooza_sim::{Engine, ServerPool, SimDuration, SimTime, Tally};
 use kooza_stats::dist::{DiscreteDistribution, Distribution, Exponential, Zipf};
 use kooza_trace::record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
 use kooza_trace::span::{Span, SpanCollector, SpanId, TraceId};
+use kooza_trace::view::{ShardedTrace, TraceView};
 use kooza_trace::TraceSet;
 
 use crate::config::ClusterConfig;
@@ -29,6 +30,16 @@ use crate::master::{ChunkHandle, Master, LBNS_PER_CHUNK};
 enum Kind {
     Read,
     Write,
+}
+
+/// One independent run specification for [`Cluster::run_trials`]: a
+/// request count plus the workload seed driving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trial {
+    /// Requests to issue.
+    pub n_requests: u64,
+    /// Workload seed (controls arrivals, sizes, placement targets).
+    pub seed: u64,
 }
 
 /// Summary of one completed request.
@@ -100,15 +111,24 @@ impl ClusterStats {
 pub struct ClusterOutcome {
     /// The collected multi-subsystem trace (whole cluster).
     pub trace: TraceSet,
-    /// The same records split by the chunkserver that served each request
-    /// — §4: "Scaling to multiple servers in order to simulate real-
-    /// application scenarios requires multiple instances of the model",
-    /// and each instance trains on its own server's trace.
-    pub per_server_traces: Vec<TraceSet>,
+    /// The same records grouped by the chunkserver that served each
+    /// request — §4: "Scaling to multiple servers in order to simulate
+    /// real-application scenarios requires multiple instances of the
+    /// model", and each instance trains on its own server's trace.
+    /// Stored once; [`ClusterOutcome::server_views`] borrows per-server
+    /// slices without copying.
+    pub per_server: ShardedTrace,
     /// Aggregate statistics.
     pub stats: ClusterStats,
     /// Per-request outcomes, completion order.
     pub requests: Vec<RequestOutcome>,
+}
+
+impl ClusterOutcome {
+    /// Zero-copy per-server trace views, indexed by chunkserver.
+    pub fn server_views(&self) -> Vec<TraceView<'_>> {
+        self.per_server.views()
+    }
 }
 
 /// In-flight request state.
@@ -250,10 +270,14 @@ pub struct Cluster {
 impl Cluster {
     /// Builds a cluster from a validated configuration.
     ///
+    /// The configuration is borrowed and cloned exactly once, so callers
+    /// can build many clusters (trial sweeps, per-rate sweeps) from one
+    /// config without deep-copying it themselves.
+    ///
     /// # Errors
     ///
     /// Returns [`crate::GfsError::InvalidConfig`] on bad parameters.
-    pub fn new(config: ClusterConfig) -> crate::Result<Self> {
+    pub fn new(config: &ClusterConfig) -> crate::Result<Self> {
         config.validate()?;
         // Placement is part of the cluster identity; derive its seed from
         // structure so `run(seed)` controls only the workload.
@@ -265,10 +289,30 @@ impl Cluster {
             &mut placement_rng,
         )?;
         Ok(Cluster {
-            config,
+            config: config.clone(),
             master,
             rng: Rng64::new(0),
         })
+    }
+
+    /// Runs `trials.len()` independent simulations of `config` in
+    /// parallel (one fresh cluster per trial) and returns the outcomes in
+    /// trial order. Bit-identical to running each trial serially: every
+    /// trial owns its own engine and RNG, and `kooza-exec` merges results
+    /// in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GfsError::InvalidConfig`] on bad parameters.
+    pub fn run_trials(
+        config: &ClusterConfig,
+        trials: &[Trial],
+    ) -> crate::Result<Vec<ClusterOutcome>> {
+        config.validate()?;
+        Ok(kooza_exec::par_map(trials, |t| {
+            let mut cluster = Cluster::new(config).expect("config validated above");
+            cluster.run(t.n_requests, t.seed)
+        }))
     }
 
     /// The chunk-placement metadata.
@@ -318,8 +362,11 @@ impl Cluster {
             2.0 * cfg.link.latency_secs + cfg.master_lookup_secs,
         );
         let mut trace = TraceSet::new();
-        let mut per_server: Vec<TraceSet> =
-            (0..cfg.n_chunkservers).map(|_| TraceSet::new()).collect();
+        // Request ids are issued sequentially, so a flat table maps each
+        // request to the chunkserver that served it; the per-server split
+        // is a single partition of the finished trace instead of a second
+        // copy of every record in the hot loop.
+        let mut server_of: Vec<usize> = vec![0; n_requests as usize];
         let mut outcomes = Vec::with_capacity(n_requests as usize);
         let mut latency = Tally::new();
         let mut tracing_busy = SimDuration::ZERO;
@@ -361,6 +408,7 @@ impl Cluster {
                     let blocks = size.div_ceil(512).max(1);
                     let span_lbns = LBNS_PER_CHUNK.saturating_sub(blocks).max(1);
                     let lbn = self.master.chunk_base_lbn(chunk) + rng.next_bounded(span_lbns);
+                    server_of[id as usize] = server;
                     let sampled = collector.should_record(TraceId(id));
                     let mem_size = match kind {
                         // Metadata plus a slice of the buffer: the request's
@@ -419,7 +467,6 @@ impl Cluster {
                             request_id: id,
                         };
                         trace.network.push(rec);
-                        per_server[server].network.push(rec);
                         servers[server].offer_net_in(&mut engine, now, server, (id, wire, false));
                     } else if let Some((job, service)) =
                         master_pool.arrive(now, (id, master_service))
@@ -453,7 +500,6 @@ impl Cluster {
                         request_id: id,
                     };
                     trace.network.push(rec);
-                    per_server[server].network.push(rec);
                     servers[server].offer_net_in(&mut engine, now, server, (id, wire, false));
                 }
                 Ev::NetInDone { id, server, replica } => {
@@ -511,7 +557,6 @@ impl Cluster {
                             request_id: id,
                         };
                         trace.memory.push(rec);
-                        per_server[server].memory.push(rec);
                         engine.schedule(service, Ev::MemDone { id, server });
                     } else {
                         // Aggregation done → respond over the network.
@@ -529,7 +574,6 @@ impl Cluster {
                             request_id: id,
                         };
                         trace.network.push(rec);
-                        per_server[server].network.push(rec);
                         servers[server].offer_net_out(&mut engine, now, server, (id, wire));
                     }
                 }
@@ -563,7 +607,6 @@ impl Cluster {
                             request_id: id,
                         };
                         trace.storage.push(rec);
-                        per_server[server].storage.push(rec);
                         let (lbn, size) = (st.lbn, st.size);
                         servers[server].offer_disk(&mut engine, now, server, (id, lbn, size, false));
                     }
@@ -639,7 +682,6 @@ impl Cluster {
                         request_id: id,
                     };
                     trace.cpu.push(rec);
-                    per_server[st.server].cpu.push(rec);
                     outcomes.push(RequestOutcome {
                         id,
                         is_read: st.kind == Kind::Read,
@@ -659,7 +701,6 @@ impl Cluster {
                             st.start.as_nanos(),
                             now.as_nanos(),
                         );
-                        per_server[st.server].spans.push(root.clone());
                         collector.record(root);
                         for (span_idx, (name, s, e)) in (1u64..).zip(st.phases.iter()) {
                             let span = Span::new(
@@ -670,7 +711,6 @@ impl Cluster {
                                 s.as_nanos(),
                                 e.as_nanos(),
                             );
-                            per_server[st.server].spans.push(span.clone());
                             collector.record(span);
                         }
                     }
@@ -697,12 +737,15 @@ impl Cluster {
         };
         trace.spans = collector.spans().to_vec();
         trace.sort_by_time();
-        for t in &mut per_server {
-            t.sort_by_time();
-        }
+        // Partitioning the time-sorted trace keeps each server's records
+        // time-sorted, matching what the old per-record duplication
+        // produced — without a second copy in the event loop.
+        let per_server = ShardedTrace::partition(&trace, cfg.n_chunkservers, |rid| {
+            server_of[rid as usize]
+        });
         ClusterOutcome {
             trace,
-            per_server_traces: per_server,
+            per_server,
             stats,
             requests: outcomes,
         }
@@ -740,7 +783,7 @@ mod tests {
     fn run_small(mix: WorkloadMix, n: u64, seed: u64) -> ClusterOutcome {
         let mut config = ClusterConfig::small();
         config.workload = mix;
-        Cluster::new(config).unwrap().run(n, seed)
+        Cluster::new(&config).unwrap().run(n, seed)
     }
 
     #[test]
@@ -834,7 +877,7 @@ mod tests {
         let mut config = ClusterConfig::small();
         config.workload = WorkloadMix::read_heavy();
         config.trace_sampling = 10;
-        let mut cluster = Cluster::new(config).unwrap();
+        let mut cluster = Cluster::new(&config).unwrap();
         let out = cluster.run(2000, 6);
         let sampled = out.requests.iter().filter(|r| r.sampled).count();
         assert!((100..400).contains(&sampled), "sampled {sampled}");
@@ -844,7 +887,7 @@ mod tests {
         let mut full_config = ClusterConfig::small();
         full_config.workload = WorkloadMix::read_heavy();
         full_config.trace_sampling = 1;
-        let full = Cluster::new(full_config).unwrap().run(2000, 6);
+        let full = Cluster::new(&full_config).unwrap().run(2000, 6);
         assert!(
             out.stats.tracing_overhead_fraction() < full.stats.tracing_overhead_fraction() / 4.0
         );
@@ -855,7 +898,7 @@ mod tests {
         let mut config = ClusterConfig::cluster(3);
         config.workload = WorkloadMix::write_heavy();
         config.workload.mean_interarrival_secs = 0.2; // light load
-        let mut cluster = Cluster::new(config).unwrap();
+        let mut cluster = Cluster::new(&config).unwrap();
         let out = cluster.run(100, 7);
         assert_eq!(out.stats.completed, 100);
         // All three disks saw traffic (replication fans writes out).
@@ -867,7 +910,7 @@ mod tests {
         solo_config.replication = 1;
         solo_config.workload = WorkloadMix::write_heavy();
         solo_config.workload.mean_interarrival_secs = 0.2;
-        let solo = Cluster::new(solo_config).unwrap().run(100, 7);
+        let solo = Cluster::new(&solo_config).unwrap().run(100, 7);
         assert!(
             out.stats.latency_secs.mean() > solo.stats.latency_secs.mean(),
             "replicated {} solo {}",
@@ -920,7 +963,7 @@ mod tests {
         let mut config = ClusterConfig::small();
         config.consult_master = true;
         config.workload = WorkloadMix { n_chunks: 100_000, zipf_skew: 0.5, ..WorkloadMix::read_heavy() };
-        let mut cluster = Cluster::new(config).unwrap();
+        let mut cluster = Cluster::new(&config).unwrap();
         let out = cluster.run(300, 31);
         assert_eq!(out.stats.completed, 300);
         // Cold, huge working set: almost every lookup misses.
@@ -940,7 +983,7 @@ mod tests {
         let mut config = ClusterConfig::small();
         config.consult_master = true;
         config.workload = WorkloadMix { n_chunks: 50, ..WorkloadMix::read_heavy() };
-        let mut cluster = Cluster::new(config).unwrap();
+        let mut cluster = Cluster::new(&config).unwrap();
         let out = cluster.run(1000, 32);
         // 50 chunks, 256-entry caches: everything hits after warmup.
         assert!(out.stats.metadata_hit_ratio > 0.8, "hit {}", out.stats.metadata_hit_ratio);
@@ -952,16 +995,53 @@ mod tests {
         let mut with_cfg = ClusterConfig::small();
         with_cfg.consult_master = true;
         with_cfg.workload = mix;
-        let with_master = Cluster::new(with_cfg).unwrap().run(300, 33);
+        let with_master = Cluster::new(&with_cfg).unwrap().run(300, 33);
         let mut without_cfg = ClusterConfig::small();
         without_cfg.workload = mix;
-        let without = Cluster::new(without_cfg).unwrap().run(300, 33);
+        let without = Cluster::new(&without_cfg).unwrap().run(300, 33);
         assert!(
             with_master.stats.latency_secs.mean() > without.stats.latency_secs.mean(),
             "with {} without {}",
             with_master.stats.latency_secs.mean(),
             without.stats.latency_secs.mean()
         );
+    }
+
+    #[test]
+    fn per_server_views_partition_the_trace() {
+        let mut config = ClusterConfig::cluster(3);
+        config.workload = WorkloadMix::mixed();
+        let out = Cluster::new(&config).unwrap().run(400, 11);
+        let views = out.server_views();
+        assert_eq!(views.len(), 3);
+        let total: usize = views.iter().map(|v| v.len()).sum();
+        assert_eq!(total, out.trace.len());
+        // Each view is time-sorted, like the whole-cluster trace.
+        for view in &views {
+            for w in view.network.windows(2) {
+                assert!(w[0].ts_nanos <= w[1].ts_nanos);
+            }
+            for w in view.storage.windows(2) {
+                assert!(w[0].ts_nanos <= w[1].ts_nanos);
+            }
+        }
+    }
+
+    #[test]
+    fn run_trials_matches_serial_runs() {
+        let mut config = ClusterConfig::small();
+        config.workload = WorkloadMix::mixed();
+        let trials = [
+            Trial { n_requests: 150, seed: 5 },
+            Trial { n_requests: 150, seed: 6 },
+            Trial { n_requests: 80, seed: 7 },
+        ];
+        let parallel = Cluster::run_trials(&config, &trials).unwrap();
+        for (trial, out) in trials.iter().zip(&parallel) {
+            let serial = Cluster::new(&config).unwrap().run(trial.n_requests, trial.seed);
+            assert_eq!(out.trace, serial.trace, "seed {}", trial.seed);
+            assert_eq!(out.requests, serial.requests, "seed {}", trial.seed);
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!
 //! let mut config = ClusterConfig::small();
 //! config.workload = WorkloadMix::read_heavy();
-//! let mut cluster = Cluster::new(config)?;
+//! let mut cluster = Cluster::new(&config)?;
 //! let outcome = cluster.run(200, 42);
 //! assert_eq!(outcome.stats.completed, 200);
 //! assert!(!outcome.trace.network.is_empty());
@@ -43,7 +43,7 @@ mod config;
 mod hardware;
 mod master;
 
-pub use cluster::{Cluster, ClusterOutcome, ClusterStats, RequestOutcome};
+pub use cluster::{Cluster, ClusterOutcome, ClusterStats, RequestOutcome, Trial};
 pub use config::{ClusterConfig, CpuParams, DiskParams, LinkParams, MemoryParams, WorkloadMix};
 pub use hardware::{CpuModel, DiskModel, LinkModel, MemoryModel};
 pub use master::{ChunkHandle, Master};

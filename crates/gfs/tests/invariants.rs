@@ -31,7 +31,7 @@ fn conservation_and_wellformedness() {
                 mean_interarrival_secs: 0.1,
                 ..WorkloadMix::mixed()
             };
-            let mut cluster = Cluster::new(config).unwrap();
+            let mut cluster = Cluster::new(&config).unwrap();
             let outcome = cluster.run(n_requests, seed);
 
             // Conservation.
@@ -92,7 +92,7 @@ fn replication_conserves_requests() {
             config.replication = replication;
             config.workload = WorkloadMix::write_heavy();
             config.workload.mean_interarrival_secs = 0.3;
-            let mut cluster = Cluster::new(config).unwrap();
+            let mut cluster = Cluster::new(&config).unwrap();
             let outcome = cluster.run(100, seed);
             ensure_eq!(outcome.stats.completed, 100);
             ensure_eq!(outcome.trace.storage.len(), 100); // primary writes only

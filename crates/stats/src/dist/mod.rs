@@ -38,7 +38,10 @@ use kooza_sim::rng::Rng64;
 /// Implementations must be internally consistent: `cdf(quantile(p)) == p`
 /// (up to floating-point error) and `sample` must follow the cdf. The
 /// property-based test suite checks both for every family in this module.
-pub trait Distribution: std::fmt::Debug {
+///
+/// `Send + Sync` is part of the contract: trained models hold boxed
+/// distributions and are shared across `kooza-exec` worker threads.
+pub trait Distribution: std::fmt::Debug + Send + Sync {
     /// Probability density at `x` (0 outside the support).
     fn pdf(&self, x: f64) -> f64;
 
@@ -84,7 +87,7 @@ pub trait Distribution: std::fmt::Debug {
 }
 
 /// A discrete distribution over non-negative integers.
-pub trait DiscreteDistribution: std::fmt::Debug {
+pub trait DiscreteDistribution: std::fmt::Debug + Send + Sync {
     /// Probability mass at `k`.
     fn pmf(&self, k: u64) -> f64;
 

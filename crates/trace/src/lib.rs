@@ -15,6 +15,9 @@
 //!   classification per Abrahao et al.).
 //! * [`profile`] — GWP-style whole-machine profile time series (Ren et
 //!   al.): windowed arrival rates, CPU busy fractions and I/O counters.
+//! * [`view`] — zero-copy borrowed views ([`TraceView`](view::TraceView))
+//!   and per-shard grouping ([`ShardedTrace`](view::ShardedTrace)) so
+//!   parallel consumers share one owned trace instead of cloning it.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,10 +28,12 @@ pub mod record;
 pub mod sampler;
 pub mod span;
 pub mod store;
+pub mod view;
 
 pub use record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
 pub use span::{Span, SpanCollector, SpanId, TraceId, TraceTree};
 pub use store::TraceSet;
+pub use view::{ShardedTrace, TraceView};
 
 /// Errors from trace manipulation and persistence.
 #[derive(Debug)]

@@ -1,0 +1,342 @@
+//! Borrowed, zero-copy views over trace data.
+//!
+//! Model training fans out over per-server (or per-stream) subsets of one
+//! owned trace. Before this module, every consumer that wanted "server 3's
+//! records" received its own `TraceSet` — a full deep copy of every
+//! record. [`TraceView`] is the borrowed alternative: per-stream slices
+//! over one owned [`TraceSet`], cheap to hand to a worker thread.
+//!
+//! [`ShardedTrace`] is the owning counterpart for partitioned data: one
+//! `TraceSet` whose streams are grouped by shard (server), plus the range
+//! table that turns shard `i` into a `TraceView` in O(1) without copying
+//! a single record.
+
+use std::ops::Range;
+
+use crate::record::{CpuRecord, MemoryRecord, NetworkRecord, StorageRecord};
+use crate::span::{Span, SpanCollector, TraceTree};
+use crate::store::TraceSet;
+
+/// A borrowed view over (a subset of) a trace: per-stream slices.
+///
+/// Mirrors the read surface of [`TraceSet`] — same field names, same
+/// derived queries — so training code is written once against the view.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceView<'a> {
+    /// Storage I/O records.
+    pub storage: &'a [StorageRecord],
+    /// CPU samples.
+    pub cpu: &'a [CpuRecord],
+    /// Memory accesses.
+    pub memory: &'a [MemoryRecord],
+    /// Network events.
+    pub network: &'a [NetworkRecord],
+    /// Raw spans (grouped into trees on demand).
+    pub spans: &'a [Span],
+}
+
+impl<'a> From<&'a TraceSet> for TraceView<'a> {
+    fn from(set: &'a TraceSet) -> Self {
+        set.as_view()
+    }
+}
+
+impl<'a> TraceView<'a> {
+    /// Total records across all streams.
+    pub fn len(&self) -> usize {
+        self.storage.len() + self.cpu.len() + self.memory.len() + self.network.len()
+            + self.spans.len()
+    }
+
+    /// Whether every stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Groups the viewed spans into per-request trees, skipping malformed
+    /// groups (same semantics as [`TraceSet::span_trees`]).
+    pub fn span_trees(&self) -> Vec<TraceTree> {
+        let mut collector = SpanCollector::new();
+        for span in self.spans {
+            collector.record(span.clone());
+        }
+        collector.into_trees()
+    }
+
+    /// Distinct request ids seen in the network stream, in first-seen
+    /// order (same semantics as [`TraceSet::request_ids`]).
+    pub fn request_ids(&self) -> Vec<u64> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for r in self.network {
+            if seen.insert(r.request_id) {
+                out.push(r.request_id);
+            }
+        }
+        out
+    }
+
+    /// Deep-copies the viewed records into an owned [`TraceSet`]. The
+    /// escape hatch for APIs that need ownership; hot paths should stay
+    /// on the view.
+    pub fn to_owned_set(&self) -> TraceSet {
+        TraceSet {
+            storage: self.storage.to_vec(),
+            cpu: self.cpu.to_vec(),
+            memory: self.memory.to_vec(),
+            network: self.network.to_vec(),
+            spans: self.spans.to_vec(),
+        }
+    }
+}
+
+impl TraceSet {
+    /// A borrowed view over this whole trace set.
+    pub fn as_view(&self) -> TraceView<'_> {
+        TraceView {
+            storage: &self.storage,
+            cpu: &self.cpu,
+            memory: &self.memory,
+            network: &self.network,
+            spans: &self.spans,
+        }
+    }
+}
+
+/// Per-shard slice boundaries into a grouped [`TraceSet`].
+#[derive(Debug, Clone)]
+struct ShardRanges {
+    storage: Range<usize>,
+    cpu: Range<usize>,
+    memory: Range<usize>,
+    network: Range<usize>,
+    spans: Range<usize>,
+}
+
+/// One owned trace, grouped by shard, viewable per shard without copying.
+///
+/// Built with [`ShardedTrace::partition`] from a record → shard
+/// assignment (in the GFS simulator: request id → serving chunkserver).
+/// Within each shard, records keep the relative order they had in the
+/// source trace — partitioning a time-sorted trace yields time-sorted
+/// shards.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedTrace {
+    set: TraceSet,
+    ranges: Vec<ShardRanges>,
+}
+
+impl ShardedTrace {
+    /// Partitions `source` into `n_shards` groups. `shard_of` maps a
+    /// request id to its shard and must return values `< n_shards`.
+    ///
+    /// This performs the *only* copy in the per-shard pipeline: one stable
+    /// counting-sort of each stream into the grouped set. Every subsequent
+    /// [`shard`](ShardedTrace::shard) call is a pair of slice borrows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_of` returns an out-of-range shard.
+    pub fn partition(
+        source: &TraceSet,
+        n_shards: usize,
+        shard_of: impl Fn(u64) -> usize,
+    ) -> ShardedTrace {
+        fn group<T: Clone>(
+            items: &[T],
+            n_shards: usize,
+            shard_of_item: impl Fn(&T) -> usize,
+            range_of: impl Fn(&mut ShardRanges) -> &mut Range<usize>,
+            ranges: &mut [ShardRanges],
+        ) -> Vec<T> {
+            let mut counts = vec![0usize; n_shards];
+            for item in items {
+                let shard = shard_of_item(item);
+                assert!(shard < n_shards, "shard {shard} out of range (< {n_shards})");
+                counts[shard] += 1;
+            }
+            let mut acc = 0usize;
+            for (shard, count) in counts.iter().enumerate() {
+                *range_of(&mut ranges[shard]) = acc..acc + count;
+                acc += count;
+            }
+            let mut out: Vec<T> = Vec::with_capacity(items.len());
+            // Stable placement: walk the source once per shard. For the
+            // shard counts seen in practice (a handful of servers) this
+            // stays cache-friendly and allocation-free.
+            for target in 0..n_shards {
+                for item in items {
+                    if shard_of_item(item) == target {
+                        out.push(item.clone());
+                    }
+                }
+            }
+            debug_assert_eq!(out.len(), items.len());
+            out
+        }
+
+        let mut ranges = vec![
+            ShardRanges {
+                storage: 0..0,
+                cpu: 0..0,
+                memory: 0..0,
+                network: 0..0,
+                spans: 0..0,
+            };
+            n_shards
+        ];
+        let set = TraceSet {
+            storage: group(&source.storage, n_shards, |r| shard_of(r.request_id), |s| &mut s.storage, &mut ranges),
+            cpu: group(&source.cpu, n_shards, |r| shard_of(r.request_id), |s| &mut s.cpu, &mut ranges),
+            memory: group(&source.memory, n_shards, |r| shard_of(r.request_id), |s| &mut s.memory, &mut ranges),
+            network: group(&source.network, n_shards, |r| shard_of(r.request_id), |s| &mut s.network, &mut ranges),
+            spans: group(&source.spans, n_shards, |s| shard_of(s.trace_id.0), |s| &mut s.spans, &mut ranges),
+        };
+        ShardedTrace { set, ranges }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The zero-copy view of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> TraceView<'_> {
+        let r = &self.ranges[shard];
+        TraceView {
+            storage: &self.set.storage[r.storage.clone()],
+            cpu: &self.set.cpu[r.cpu.clone()],
+            memory: &self.set.memory[r.memory.clone()],
+            network: &self.set.network[r.network.clone()],
+            spans: &self.set.spans[r.spans.clone()],
+        }
+    }
+
+    /// Views of every shard, in shard order.
+    pub fn views(&self) -> Vec<TraceView<'_>> {
+        (0..self.n_shards()).map(|i| self.shard(i)).collect()
+    }
+
+    /// The grouped backing set (shard-major order, time-sorted within
+    /// each shard).
+    pub fn backing_set(&self) -> &TraceSet {
+        &self.set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Direction, IoOp};
+    use crate::span::{SpanId, TraceId};
+
+    fn multi_request_set() -> TraceSet {
+        let mut ts = TraceSet::new();
+        for id in 0..6u64 {
+            ts.network.push(NetworkRecord {
+                ts_nanos: id * 10,
+                size: 1024 + id,
+                direction: Direction::Ingress,
+                request_id: id,
+            });
+            ts.cpu.push(CpuRecord {
+                ts_nanos: id * 10 + 1,
+                utilization: 0.1,
+                busy_nanos: 100 + id,
+                request_id: id,
+            });
+            if id % 2 == 0 {
+                ts.storage.push(StorageRecord {
+                    ts_nanos: id * 10 + 2,
+                    lbn: id * 1000,
+                    size: 4096,
+                    op: IoOp::Read,
+                    request_id: id,
+                });
+            }
+            if id % 3 == 0 {
+                ts.memory.push(MemoryRecord {
+                    ts_nanos: id * 10 + 3,
+                    bank: id as u32,
+                    size: 64,
+                    op: IoOp::Write,
+                    request_id: id,
+                });
+            }
+            ts.spans.push(Span::new(TraceId(id), SpanId(0), None, "request", id * 10, id * 10 + 9));
+        }
+        ts
+    }
+
+    #[test]
+    fn whole_set_view_matches_set() {
+        let ts = multi_request_set();
+        let view = ts.as_view();
+        assert_eq!(view.len(), ts.len());
+        assert_eq!(view.request_ids(), ts.request_ids());
+        assert_eq!(view.span_trees().len(), ts.span_trees().len());
+        assert_eq!(view.to_owned_set(), ts);
+        assert!(!view.is_empty());
+        assert!(TraceSet::new().as_view().is_empty());
+    }
+
+    #[test]
+    fn partition_covers_and_separates() {
+        let ts = multi_request_set();
+        let sharded = ShardedTrace::partition(&ts, 3, |id| (id % 3) as usize);
+        assert_eq!(sharded.n_shards(), 3);
+        let views = sharded.views();
+        let total: usize = views.iter().map(|v| v.len()).sum();
+        assert_eq!(total, ts.len());
+        for (shard, view) in views.iter().enumerate() {
+            for r in view.network {
+                assert_eq!((r.request_id % 3) as usize, shard);
+            }
+            for s in view.spans {
+                assert_eq!((s.trace_id.0 % 3) as usize, shard);
+            }
+        }
+        // Shard 0 owns requests 0 and 3: one storage record (id 0), two
+        // memory records (ids 0 and 3).
+        assert_eq!(views[0].storage.len(), 1);
+        assert_eq!(views[0].memory.len(), 2);
+    }
+
+    #[test]
+    fn partition_preserves_relative_order() {
+        let ts = multi_request_set();
+        let sharded = ShardedTrace::partition(&ts, 2, |id| (id % 2) as usize);
+        for view in sharded.views() {
+            for w in view.network.windows(2) {
+                assert!(w[0].ts_nanos <= w[1].ts_nanos);
+            }
+        }
+        // Round-tripping a shard through to_owned_set keeps it equal to
+        // a filter of the source.
+        let shard0 = sharded.shard(0).to_owned_set();
+        let expected: Vec<u64> =
+            ts.network.iter().filter(|r| r.request_id % 2 == 0).map(|r| r.request_id).collect();
+        assert_eq!(shard0.network.iter().map(|r| r.request_id).collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let sharded = ShardedTrace::partition(&TraceSet::new(), 4, |_| 0);
+        assert_eq!(sharded.n_shards(), 4);
+        for view in sharded.views() {
+            assert!(view.is_empty());
+        }
+        assert!(sharded.backing_set().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_shard_panics() {
+        let ts = multi_request_set();
+        ShardedTrace::partition(&ts, 2, |id| id as usize);
+    }
+}

@@ -17,7 +17,7 @@ use kooza_sim::rng::Rng64;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = ClusterConfig::small();
     config.workload = WorkloadMix::mixed();
-    let outcome = Cluster::new(config.clone())?.run(2000, 13);
+    let outcome = Cluster::new(&config)?.run(2000, 13);
     let model = Kooza::fit(&outcome.trace)?;
     let power = PowerParams::default();
 

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Collect a trace ------------------------------------------------
     let mut config = ClusterConfig::small();
     config.workload = WorkloadMix::read_heavy();
-    let mut cluster = Cluster::new(config.clone())?;
+    let mut cluster = Cluster::new(&config)?;
     let outcome = cluster.run(1000, 7);
     println!(
         "simulated {} requests ({:.1} req/s, mean latency {:.2} ms)",

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Trace the "production" system once.
     let mut base = ClusterConfig::small();
     base.workload = WorkloadMix::mixed();
-    let outcome = Cluster::new(base.clone())?.run(2000, 3);
+    let outcome = Cluster::new(&base)?.run(2000, 3);
     let model = Kooza::fit(&outcome.trace)?;
 
     // One synthetic workload, reused for every what-if.

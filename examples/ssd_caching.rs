@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     // Disable the RAM buffer cache so the disk stream carries the skew.
     config.memory.cache_chunks = 1;
-    let outcome = Cluster::new(config)?.run(3000, 5);
+    let outcome = Cluster::new(&config)?.run(3000, 5);
     let model = Kooza::fit(&outcome.trace)?;
 
     // One synthetic I/O stream, swept over cache sizes.

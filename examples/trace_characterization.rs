@@ -16,7 +16,7 @@ use kooza_trace::characterize::{arrival_profile, cpu_profile, memory_profile, st
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = ClusterConfig::small();
     config.workload = WorkloadMix::mixed();
-    let outcome = Cluster::new(config)?.run(3000, 9);
+    let outcome = Cluster::new(&config)?.run(3000, 9);
     let trace = &outcome.trace;
 
     println!("== storage profile (Gulati et al. feature set) ==");

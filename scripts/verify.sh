@@ -39,4 +39,9 @@ cargo test -q --offline --workspace
 echo "== benchmarks compile and smoke-run =="
 cargo bench --offline -p kooza-bench --bench micro -- --test >/dev/null
 
+echo "== thread-count determinism: tables identical at KOOZA_THREADS=8 =="
+# The test itself sweeps 1/2/8 via the thread override; running it under
+# KOOZA_THREADS=8 additionally exercises the env-var sizing path.
+KOOZA_THREADS=8 cargo test -q --offline --test determinism
+
 echo "verify: OK"

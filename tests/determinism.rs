@@ -1,0 +1,133 @@
+//! Thread-count determinism regression: the Table-1 and Table-2 pipelines
+//! must produce byte-identical kooza-json output whether the `kooza-exec`
+//! pool runs 1, 2 or 8 workers.
+//!
+//! This is the contract DESIGN.md's "Execution layer" section states:
+//! parallelism is an implementation detail — ordered reduction and
+//! per-task RNG streams make every published number independent of the
+//! thread count (and of the host's core count). `KOOZA_THREADS=1` takes
+//! the exact serial code path, so this test also pins parallel == serial.
+
+use kooza::class::assemble_observations;
+use kooza::crossexam::cross_examine;
+use kooza::validate::validate;
+use kooza::{InBreadthModel, InDepthModel, Kooza, ReplayConfig, WorkloadModel};
+use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+use kooza_json::{to_string, Json};
+use kooza_sim::rng::Rng64;
+
+const SEED: u64 = 2011;
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Table 2: train KOOZA on two request classes, validate features and
+/// latency. Mirrors `kooza-bench`'s `table2_validation` at test scale.
+fn table2_json() -> Json {
+    let cases = [("64k-read", WorkloadMix::read_heavy(), 600u64), (
+        "4m-write",
+        WorkloadMix::write_heavy(),
+        300,
+    )];
+    let reports = kooza_exec::par_map(&cases, |(label, workload, n)| {
+        let mut config = ClusterConfig::small();
+        config.workload = *workload;
+        let outcome = Cluster::new(&config).expect("config").run(*n, SEED);
+        let observations = assemble_observations(&outcome.trace).expect("assembles");
+        let model = Kooza::fit(&outcome.trace).expect("trains");
+        let mut rng = Rng64::new(SEED + 1);
+        let synthetic = model.generate(*n as usize, &mut rng);
+        let report = validate(&model, &observations, &synthetic, ReplayConfig::from(&config));
+        obj(vec![
+            ("case", Json::str(*label)),
+            (
+                "rows",
+                Json::Array(
+                    report
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            obj(vec![
+                                ("subsystem", Json::str(r.subsystem)),
+                                ("metric", Json::str(r.metric)),
+                                ("original", Json::F64(r.original)),
+                                ("synthetic", Json::F64(r.synthetic)),
+                                ("variation", Json::F64(r.variation)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("max_feature_variation", Json::F64(report.max_feature_variation())),
+            (
+                "latency_variation",
+                report.latency_variation().map(Json::F64).unwrap_or(Json::Null),
+            ),
+        ])
+    });
+    Json::Array(reports)
+}
+
+/// Table 1: cross-examine the three model families on a mixed workload.
+fn table1_json() -> Json {
+    let mut config = ClusterConfig::small();
+    config.workload = WorkloadMix {
+        n_chunks: 120,
+        ..WorkloadMix::mixed()
+    };
+    let trace = Cluster::new(&config).expect("config").run(700, SEED).trace;
+    let observations = assemble_observations(&trace).expect("assembles");
+    let kooza = Kooza::fit(&trace).expect("kooza");
+    let inb = InBreadthModel::fit(&trace).expect("in-breadth");
+    let ind = InDepthModel::fit(&trace).expect("in-depth");
+    let table = cross_examine(
+        &[&inb, &ind, &kooza],
+        &observations,
+        ReplayConfig::from(&config),
+        700,
+        SEED + 2,
+    );
+    Json::Array(
+        table
+            .rows
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("model", Json::str(r.model.clone())),
+                    ("feature_error", Json::F64(r.feature_error)),
+                    ("latency_ks", Json::F64(r.latency_ks)),
+                    ("parameter_count", Json::U64(r.parameter_count as u64)),
+                    ("features_check", Json::Bool(r.features_check())),
+                    ("time_deps_check", Json::Bool(r.time_deps_check())),
+                    ("completeness_check", Json::Bool(r.completeness_check())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn pipeline_output() -> String {
+    to_string(&obj(vec![("table2", table2_json()), ("table1", table1_json())]))
+}
+
+#[test]
+fn tables_are_byte_identical_across_thread_counts() {
+    // One #[test] drives all thread counts: the override is process-global
+    // state, so sweeping it inside a single test keeps this binary free of
+    // cross-test races.
+    let mut outputs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        kooza_exec::set_thread_override(Some(threads));
+        outputs.push((threads, pipeline_output()));
+    }
+    kooza_exec::set_thread_override(None);
+    let (_, reference) = &outputs[0];
+    assert!(reference.contains("table2") && reference.contains("latency_ks"));
+    for (threads, output) in &outputs[1..] {
+        assert_eq!(
+            output, reference,
+            "pipeline output at {threads} threads diverged from serial"
+        );
+    }
+}

@@ -14,7 +14,7 @@ fn mixed_trace(n: u64, seed: u64) -> (ClusterConfig, kooza_trace::TraceSet) {
         n_chunks: 120,
         ..WorkloadMix::mixed()
     };
-    let trace = Cluster::new(config.clone()).unwrap().run(n, seed).trace;
+    let trace = Cluster::new(&config).unwrap().run(n, seed).trace;
     (config, trace)
 }
 
@@ -24,7 +24,7 @@ fn paper_table_two_reproduces() {
     // features within ~1% and latency within the paper's ~7% band.
     let mut config = ClusterConfig::small();
     config.workload = WorkloadMix::read_heavy();
-    let outcome = Cluster::new(config.clone()).unwrap().run(1200, 2011);
+    let outcome = Cluster::new(&config).unwrap().run(1200, 2011);
     let obs = assemble_observations(&outcome.trace).unwrap();
     let model = Kooza::fit(&outcome.trace).unwrap();
     let synth = model.generate(1200, &mut Rng64::new(1));
@@ -77,7 +77,7 @@ fn multi_server_cluster_traces_train_models() {
     let mut config = ClusterConfig::cluster(4);
     config.workload = WorkloadMix::write_heavy();
     config.workload.mean_interarrival_secs = 0.3;
-    let outcome = Cluster::new(config).unwrap().run(300, 2014);
+    let outcome = Cluster::new(&config).unwrap().run(300, 2014);
     let model = Kooza::fit(&outcome.trace).unwrap();
     let has_replicate = model
         .structure()

@@ -16,7 +16,7 @@ fn simulator_traces_round_trip_byte_identically() {
     ] {
         let mut config = ClusterConfig::small();
         config.workload = workload;
-        let outcome = Cluster::new(config).unwrap().run(200, seed);
+        let outcome = Cluster::new(&config).unwrap().run(200, seed);
         let mut first = Vec::new();
         outcome.trace.write_jsonl(&mut first).unwrap();
         let reread = TraceSet::read_jsonl(first.as_slice()).unwrap();
