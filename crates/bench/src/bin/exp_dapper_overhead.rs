@@ -5,9 +5,59 @@
 //! 1000 requests. The GFS simulator charges a per-span CPU cost on sampled
 //! requests only; we sweep the sampling rate and report the measured CPU
 //! overhead fraction, mean latency impact, and span completeness.
+//!
+//! Each sweep point collects its numbers into a local
+//! [`kooza_obs::MetricsRegistry`], and the per-rate snapshots merge into
+//! one sweep-wide snapshot at the end — the same mergeable-snapshot
+//! machinery the `--obs` flag uses, exercised here as a library.
 
 use kooza_bench::{banner, section, EXPERIMENT_SEED};
 use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+use kooza_obs::{MetricsRegistry, MetricsSnapshot};
+
+/// Request latency buckets, nanoseconds: 1µs … 10s by decades.
+const LATENCY_BOUNDS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Runs one sweep point and returns its metrics snapshot. Everything the
+/// table needs is read back out of the snapshot, not carried separately.
+fn measure(rate: u32, n_requests: u64, workload: WorkloadMix, baseline_latency: f64) -> MetricsSnapshot {
+    let mut config = ClusterConfig::small();
+    config.workload = workload;
+    config.trace_sampling = rate;
+    config.tracing_overhead_secs = 10e-6;
+    let mut cluster = Cluster::new(&config).expect("config");
+    let outcome = cluster.run(n_requests, EXPERIMENT_SEED);
+
+    let mut reg = MetricsRegistry::new();
+    reg.counter_add("dapper.requests", outcome.requests.len() as u64);
+    reg.counter_add(
+        "dapper.traced",
+        outcome.requests.iter().filter(|r| r.sampled).count() as u64,
+    );
+    reg.counter_add("dapper.span_trees", outcome.trace.span_trees().len() as u64);
+    reg.gauge_set(
+        "dapper.cpu_overhead_pct",
+        outcome.stats.tracing_overhead_fraction() * 100.0,
+    );
+    reg.gauge_set(
+        "dapper.latency_impact_pct",
+        (outcome.stats.latency_secs.mean() - baseline_latency) / baseline_latency * 100.0,
+    );
+    let latency = reg.histogram_mut("dapper.latency_nanos", LATENCY_BOUNDS);
+    for r in &outcome.requests {
+        latency.record(r.latency_nanos);
+    }
+    reg.snapshot()
+}
 
 fn main() {
     banner("EXP-F", "Trace-sampling rate vs instrumentation overhead");
@@ -32,30 +82,32 @@ fn main() {
         "{:>10} {:>10} {:>14} {:>16} {:>18}",
         "sampling", "traced", "CPU overhead", "latency impact", "spans complete?"
     );
+    let mut sweep = MetricsSnapshot::default();
     for rate in [1u32, 10, 100, 1000] {
-        let mut config = ClusterConfig::small();
-        config.workload = base_workload;
-        config.trace_sampling = rate;
-        config.tracing_overhead_secs = 10e-6;
-        let mut cluster = Cluster::new(&config).expect("config");
-        let outcome = cluster.run(n_requests, EXPERIMENT_SEED);
-        let traced = outcome.requests.iter().filter(|r| r.sampled).count();
-        let overhead = outcome.stats.tracing_overhead_fraction() * 100.0;
-        let latency_impact = (outcome.stats.latency_secs.mean() - baseline_latency)
-            / baseline_latency
-            * 100.0;
+        let snap = measure(rate, n_requests, base_workload, baseline_latency);
+        let traced = snap.counter("dapper.traced").unwrap_or(0);
         // Completeness: every sampled request yields a full span tree.
-        let trees = outcome.trace.span_trees();
-        let complete = trees.len() == traced;
+        let complete = snap.counter("dapper.span_trees") == Some(traced);
         println!(
             "{:>8}:1 {:>10} {:>13.2}% {:>15.2}% {:>18}",
             rate,
             traced,
-            overhead,
-            latency_impact,
+            snap.gauge("dapper.cpu_overhead_pct").unwrap_or(f64::NAN),
+            snap.gauge("dapper.latency_impact_pct").unwrap_or(f64::NAN),
             if complete { "yes" } else { "NO" }
         );
+        sweep = sweep.merge(&snap);
     }
+
+    section("sweep totals (merged snapshots)");
+    let requests = sweep.counter("dapper.requests").unwrap_or(0);
+    let traced = sweep.counter("dapper.traced").unwrap_or(0);
+    let latency = sweep.histogram("dapper.latency_nanos").expect("recorded");
+    println!(
+        "requests {requests}, traced {traced} ({:.2}% overall), latency p-mass over 1ms: {:.1}%",
+        traced as f64 / requests as f64 * 100.0,
+        latency.fraction_above(1_000_000) * 100.0,
+    );
     println!(
         "\npaper claim (Dapper): 1/1000 sampling keeps overhead far below\n\
          1.5% while sampled traces stay complete — the bottom row shows\n\

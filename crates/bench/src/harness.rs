@@ -137,6 +137,27 @@ impl Harness {
         self.results.push(result);
     }
 
+    /// The full JSON report: a `meta` stamp describing the machine and
+    /// run configuration (so archived BENCH_*.json files are comparable),
+    /// plus the per-benchmark `results` array.
+    fn report_json(&self) -> Json {
+        let detected_cores =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64;
+        let total_samples: u64 = self.results.iter().map(|r| r.samples as u64).sum();
+        let meta = Json::Object(vec![
+            ("mode".into(), Json::str(if self.full { "full" } else { "quick" })),
+            ("detected_cores".into(), Json::U64(detected_cores)),
+            ("resolved_threads".into(), Json::U64(kooza_exec::resolved_threads() as u64)),
+            ("warmup_iters".into(), Json::U64(self.warmup_iters() as u64)),
+            ("samples_per_bench".into(), Json::U64(self.sample_count() as u64)),
+            ("total_samples".into(), Json::U64(total_samples)),
+        ]);
+        Json::Object(vec![
+            ("meta".into(), meta),
+            ("results".into(), Json::Array(self.results.iter().map(ToJson::to_json).collect())),
+        ])
+    }
+
     /// Prints the closing summary and writes the JSON report if
     /// `KOOZA_BENCH_JSON` is set. Call once, after all benchmarks.
     pub fn finish(self) {
@@ -147,8 +168,7 @@ impl Harness {
             if self.full { "" } else { "; run `cargo bench` or set KOOZA_BENCH_FULL=1 for stable numbers" }
         );
         if let Ok(path) = std::env::var("KOOZA_BENCH_JSON") {
-            let json = Json::Array(self.results.iter().map(ToJson::to_json).collect());
-            std::fs::write(&path, kooza_json::to_string(&json))
+            std::fs::write(&path, kooza_json::to_string(&self.report_json()))
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!("wrote JSON report to {path}");
         }
@@ -247,6 +267,32 @@ mod tests {
         assert_eq!(fmt_nanos(1_500.0), "1.50 µs");
         assert_eq!(fmt_nanos(2_500_000.0), "2.50 ms");
         assert_eq!(fmt_nanos(3_000_000_000.0), "3.00 s");
+    }
+
+    #[test]
+    fn report_json_carries_meta_stamp() {
+        let harness = Harness {
+            full: true,
+            filter: None,
+            results: vec![BenchResult {
+                name: "demo".into(),
+                samples: 30,
+                min_nanos: 1.0,
+                median_nanos: 2.0,
+                p95_nanos: 3.0,
+                mean_nanos: 2.0,
+            }],
+        };
+        let json = harness.report_json();
+        let meta = json.field("meta").unwrap();
+        assert_eq!(meta.field("mode").unwrap().as_str(), Some("full"));
+        assert!(meta.field("detected_cores").unwrap().as_f64().unwrap() >= 1.0);
+        assert!(meta.field("resolved_threads").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(meta.field("warmup_iters").unwrap().as_f64(), Some(10.0));
+        assert_eq!(meta.field("samples_per_bench").unwrap().as_f64(), Some(30.0));
+        assert_eq!(meta.field("total_samples").unwrap().as_f64(), Some(30.0));
+        let results = json.field("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 1);
     }
 
     #[test]

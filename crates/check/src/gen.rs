@@ -10,10 +10,16 @@ use std::rc::Rc;
 
 use kooza_sim::rng::Rng64;
 
+/// The sampling half of a generator: a shared deterministic closure.
+type GenerateFn<T> = Rc<dyn Fn(&mut Rng64) -> T>;
+
+/// The shrinking half: proposes simplified candidates for a failing value.
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
 /// A generator of `T` values plus a shrinker for failing inputs.
 pub struct Gen<T> {
-    generate: Rc<dyn Fn(&mut Rng64) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    generate: GenerateFn<T>,
+    shrink: ShrinkFn<T>,
 }
 
 impl<T> Clone for Gen<T> {

@@ -43,12 +43,19 @@ commands:
                train, generate, and compare features/latency (Table 2)
   crossexam    --trace <path> [--n N] [--seed S]
                score kooza vs in-breadth vs in-depth on this trace (Table 1)
+  obs          --report <path> [--strip]
+               pretty-print an observability report written by --obs
+               (--strip instead emits the deterministic JSONL subset:
+               meta/pool lines and wall-clock fields removed)
   help         print this message
 
 global options (accepted by every command):
   --threads N  worker threads for the parallel pipeline stages; results
                are bit-identical at any thread count
-               (precedence: --threads > KOOZA_THREADS env > detected cores)";
+               (precedence: --threads > KOOZA_THREADS env > detected cores)
+  --obs <path> self-instrument the run (metrics, stage spans, worker
+               profiles) and write a JSONL report to <path>; inspect it
+               with `kooza obs --report <path>`";
 
 /// A CLI failure: bad arguments or a failing pipeline stage.
 #[derive(Debug)]
@@ -83,7 +90,7 @@ impl Options {
                 return Err(err(format!("unexpected argument `{arg}`")));
             };
             // Boolean flags take no value; everything else takes one.
-            if key == "consult-master" {
+            if key == "consult-master" || key == "strip" {
                 flags.push(key.to_string());
                 i += 1;
             } else {
@@ -138,14 +145,47 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         kooza_exec::set_thread_override(Some(n));
     }
-    match command.as_str() {
+    // `--obs <path>`: self-instrument this invocation and write the
+    // JSONL report when the command finishes (even a failing one leaves
+    // the global sink disabled again).
+    let obs_path = opts.get("obs").map(str::to_string);
+    if obs_path.is_some() {
+        kooza_obs::global::enable();
+    }
+    let result = match command.as_str() {
         "simulate" => simulate(&opts),
         "characterize" => characterize(&opts),
         "fit" => fit(&opts),
         "validate" => validate_cmd(&opts),
         "crossexam" => crossexam(&opts),
+        "obs" => obs_cmd(&opts),
         other => Err(err(format!("unknown command `{other}`"))),
+    };
+    match obs_path {
+        None => result,
+        Some(path) => {
+            let report = kooza_obs::global::report();
+            kooza_obs::global::disable();
+            let report = report.ok_or_else(|| err("observability state lost mid-run"))?;
+            std::fs::write(&path, report.to_jsonl())
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            result.map(|out| format!("{out}\nwrote observability report to {path}"))
+        }
     }
+}
+
+/// `kooza obs`: pretty-print (or strip) a JSONL observability report.
+fn obs_cmd(opts: &Options) -> Result<String, CliError> {
+    let path = opts.require("report")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    if opts.has_flag("strip") {
+        return kooza_obs::strip_nondeterministic(&text)
+            .map_err(|e| err(format!("cannot strip {path}: {e}")));
+    }
+    let report = kooza_obs::ObsReport::from_jsonl(&text)
+        .map_err(|e| err(format!("cannot parse {path}: {e}")))?;
+    Ok(report.render())
 }
 
 fn workload_by_name(name: &str) -> Result<WorkloadMix, CliError> {
@@ -391,6 +431,46 @@ mod tests {
         assert!(run(&args("simulate --out /tmp/x --threads 0")).is_err());
         assert!(run(&args("simulate --out /tmp/x --threads nope")).is_err());
         assert_eq!(kooza_exec::thread_override(), None);
+    }
+
+    #[test]
+    fn obs_flag_writes_report_and_obs_command_reads_it() {
+        let trace = temp_path("obs-trace");
+        let report = temp_path("obs-report");
+        run(&args(&format!(
+            "simulate --out {trace} --requests 400 --seed 11 --workload read"
+        )))
+        .unwrap();
+        let out = run(&args(&format!(
+            "validate --trace {trace} --n 400 --seed 12 --obs {report}"
+        )))
+        .unwrap();
+        assert!(out.contains("wrote observability report"), "{out}");
+        assert!(!kooza_obs::global::is_enabled());
+
+        // The report parses; the validate pipeline left its counters.
+        // Other tests in this binary may run pipelines concurrently while
+        // obs is enabled, so assert at-least, never exact.
+        let text = std::fs::read_to_string(&report).unwrap();
+        let parsed = kooza_obs::ObsReport::from_jsonl(&text).unwrap();
+        assert!(parsed.metrics.counter("train.models").unwrap_or(0) >= 1, "{text}");
+        assert!(parsed.metrics.counter("validate.cases").unwrap_or(0) >= 1);
+        assert!(parsed.metrics.counter("replay.requests").unwrap_or(0) >= 400);
+        assert!(parsed.metrics.histogram("replay.latency_nanos").is_some());
+
+        // `kooza obs` renders the stage tree and metrics...
+        let rendered = run(&args(&format!("obs --report {report}"))).unwrap();
+        assert!(rendered.contains("kooza observability report"), "{rendered}");
+        assert!(rendered.contains("validate"), "{rendered}");
+        assert!(rendered.contains("train.models"), "{rendered}");
+
+        // ...and `--strip` emits the deterministic subset.
+        let stripped = run(&args(&format!("obs --report {report} --strip"))).unwrap();
+        assert!(!stripped.contains("\"wall\""), "{stripped}");
+        assert!(stripped.contains("validate.cases"), "{stripped}");
+
+        cleanup(&trace);
+        cleanup(&report);
     }
 
     #[test]

@@ -175,6 +175,20 @@ pub fn cross_examine(
     n_synthetic: usize,
     seed: u64,
 ) -> CrossExamTable {
+    kooza_obs::global::counter_add("crossexam.models", models.len() as u64);
+    kooza_obs::global::counter_add("crossexam.observations", observations.len() as u64);
+    kooza_obs::global::stage("crossexam", || {
+        cross_examine_impl(models, observations, replay_config, n_synthetic, seed)
+    })
+}
+
+fn cross_examine_impl(
+    models: &[&dyn WorkloadModel],
+    observations: &[RequestObservation],
+    replay_config: ReplayConfig,
+    n_synthetic: usize,
+    seed: u64,
+) -> CrossExamTable {
     let original_latency: Vec<f64> = observations
         .iter()
         .map(|o| o.latency_nanos as f64 / 1e9)

@@ -54,9 +54,12 @@ impl KoozaFleet {
         if views.is_empty() {
             return Err(ModelError::InsufficientRequests { needed: 1, got: 0 });
         }
-        let servers: Result<Vec<Kooza>> =
-            kooza_exec::par_map(views, Kooza::fit_view).into_iter().collect();
-        Ok(KoozaFleet { servers: servers? })
+        let servers: Result<Vec<Kooza>> = kooza_obs::global::stage("fleet.train", || {
+            kooza_exec::par_map(views, Kooza::fit_view).into_iter().collect()
+        });
+        let fleet = KoozaFleet { servers: servers? };
+        kooza_obs::global::counter_add("fleet.servers_trained", fleet.len() as u64);
+        Ok(fleet)
     }
 
     /// Number of per-server models.
@@ -102,9 +105,11 @@ impl KoozaFleet {
         rng: &mut Rng64,
     ) -> Vec<Vec<SyntheticRequest>> {
         let children: Vec<Rng64> = self.servers.iter().map(|_| rng.fork()).collect();
-        kooza_exec::par_map_indexed(&children, |server, child| {
-            let mut child = child.clone();
-            self.servers[server].generate(n_per_server, &mut child)
+        kooza_obs::global::stage("fleet.generate", || {
+            kooza_exec::par_map_indexed(&children, |server, child| {
+                let mut child = child.clone();
+                self.servers[server].generate(n_per_server, &mut child)
+            })
         })
     }
 

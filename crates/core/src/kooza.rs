@@ -109,22 +109,26 @@ impl Kooza {
     ///
     /// Same as [`fit_with`](Kooza::fit_with).
     pub fn fit_with_view(trace: &TraceView<'_>, options: KoozaOptions) -> Result<Self> {
-        let observations = assemble_observations_view(trace)?;
-        let network = NetworkModel::fit(&observations)?;
-        let cpu = CpuChainModel::fit_with_bins(&observations, options.cpu_bins)?;
-        // Memory/storage streams may legitimately be absent (e.g. a fully
-        // cache-resident workload never touches disk).
-        let memory = MemoryChainModel::fit(&observations).ok();
-        let storage =
-            StorageChainModel::fit_with_buckets(&observations, options.lbn_buckets).ok();
-        let structure = StructureModel::fit(&observations)?;
-        Ok(Kooza {
-            network,
-            cpu,
-            memory,
-            storage,
-            structure,
-            trained_requests: observations.len(),
+        kooza_obs::global::stage("train", || {
+            let observations = assemble_observations_view(trace)?;
+            let network = NetworkModel::fit(&observations)?;
+            let cpu = CpuChainModel::fit_with_bins(&observations, options.cpu_bins)?;
+            // Memory/storage streams may legitimately be absent (e.g. a fully
+            // cache-resident workload never touches disk).
+            let memory = MemoryChainModel::fit(&observations).ok();
+            let storage =
+                StorageChainModel::fit_with_buckets(&observations, options.lbn_buckets).ok();
+            let structure = StructureModel::fit(&observations)?;
+            kooza_obs::global::counter_add("train.models", 1);
+            kooza_obs::global::counter_add("train.requests", observations.len() as u64);
+            Ok(Kooza {
+                network,
+                cpu,
+                memory,
+                storage,
+                structure,
+                trained_requests: observations.len(),
+            })
         })
     }
 
@@ -165,6 +169,29 @@ impl WorkloadModel for Kooza {
     }
 
     fn generate(&self, n: usize, rng: &mut Rng64) -> Vec<SyntheticRequest> {
+        kooza_obs::global::counter_add("generate.requests", n as u64);
+        kooza_obs::global::stage("generate", || self.generate_impl(n, rng))
+    }
+
+    fn captures_request_features(&self) -> bool {
+        true
+    }
+
+    fn captures_time_dependencies(&self) -> bool {
+        true
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.network.parameter_count()
+            + self.cpu.parameter_count()
+            + self.memory.as_ref().map(|m| m.parameter_count()).unwrap_or(0)
+            + self.storage.as_ref().map(|s| s.parameter_count()).unwrap_or(0)
+            + self.structure.parameter_count()
+    }
+}
+
+impl Kooza {
+    fn generate_impl(&self, n: usize, rng: &mut Rng64) -> Vec<SyntheticRequest> {
         let mut out = Vec::with_capacity(n);
         // Chain states persist across requests so generated traces keep
         // the trained temporal/spatial locality.
@@ -242,22 +269,6 @@ impl WorkloadModel for Kooza {
             });
         }
         out
-    }
-
-    fn captures_request_features(&self) -> bool {
-        true
-    }
-
-    fn captures_time_dependencies(&self) -> bool {
-        true
-    }
-
-    fn parameter_count(&self) -> usize {
-        self.network.parameter_count()
-            + self.cpu.parameter_count()
-            + self.memory.as_ref().map(|m| m.parameter_count()).unwrap_or(0)
-            + self.storage.as_ref().map(|s| s.parameter_count()).unwrap_or(0)
-            + self.structure.parameter_count()
     }
 }
 

@@ -124,6 +124,13 @@ pub fn replay_loaded_latency_secs(
     requests: &[SyntheticRequest],
     config: ReplayConfig,
 ) -> Vec<f64> {
+    // The span is recorded only on the observability owner thread; from
+    // `par_map` workers (per-model cross-exam, per-case validation) the
+    // closure still runs and the metrics below still commute.
+    kooza_obs::global::stage("replay", || replay_loaded_impl(requests, config))
+}
+
+fn replay_loaded_impl(requests: &[SyntheticRequest], config: ReplayConfig) -> Vec<f64> {
     use kooza_sim::{Engine, ServerPool, SimDuration, SimTime};
 
     #[derive(Debug)]
@@ -260,6 +267,28 @@ pub fn replay_loaded_latency_secs(
             }
         }
     }
+    kooza_obs::global::with_registry(|reg| {
+        /// Replay latency buckets, nanoseconds: 1µs … 10s by decades.
+        const LATENCY_BOUNDS: &[u64] = &[
+            1_000,
+            10_000,
+            100_000,
+            1_000_000,
+            10_000_000,
+            100_000_000,
+            1_000_000_000,
+            10_000_000_000,
+        ];
+        reg.counter_add("replay.requests", requests.len() as u64);
+        reg.counter_add("replay.events", engine.processed());
+        reg.gauge_max("replay.pending_high_water", engine.pending_high_water() as f64);
+        let histogram = reg.histogram_mut("replay.latency_nanos", LATENCY_BOUNDS);
+        for &latency in &latencies {
+            if latency.is_finite() && latency >= 0.0 {
+                histogram.record((latency * 1e9) as u64);
+            }
+        }
+    });
     latencies
 }
 

@@ -115,6 +115,18 @@ pub fn validate(
     synthetic: &[SyntheticRequest],
     replay_config: ReplayConfig,
 ) -> ValidationReport {
+    kooza_obs::global::counter_add("validate.cases", 1);
+    kooza_obs::global::stage("validate", || {
+        validate_impl(model, observations, synthetic, replay_config)
+    })
+}
+
+fn validate_impl(
+    model: &dyn WorkloadModel,
+    observations: &[RequestObservation],
+    synthetic: &[SyntheticRequest],
+    replay_config: ReplayConfig,
+) -> ValidationReport {
     let mut rows = Vec::new();
 
     // Network request size: the payload (max of ingress/egress wire

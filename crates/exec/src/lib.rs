@@ -34,8 +34,44 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod profile;
+
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+thread_local! {
+    /// Nesting depth of `par_map` task bodies executing on this thread.
+    static PAR_MAP_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Whether the current thread is inside a `par_map` task body.
+///
+/// Task bodies run on worker threads when the pool is parallel but on the
+/// *calling* thread when it takes the serial path, so "am I on the main
+/// thread" is thread-count-dependent. Observability uses this to keep its
+/// stage-span tree identical at any thread count: spans are suppressed
+/// inside task bodies everywhere, not just on workers.
+pub fn in_par_map_tasks() -> bool {
+    PAR_MAP_DEPTH.with(|d| d.get() > 0)
+}
+
+/// RAII increment of [`PAR_MAP_DEPTH`] around task-body execution.
+struct TaskScope;
+
+impl TaskScope {
+    fn enter() -> Self {
+        PAR_MAP_DEPTH.with(|d| d.set(d.get() + 1));
+        TaskScope
+    }
+}
+
+impl Drop for TaskScope {
+    fn drop(&mut self) {
+        PAR_MAP_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
 
 /// Process-wide thread override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -133,9 +169,46 @@ impl Pool {
         F: Fn(usize, &T) -> R + Sync,
     {
         let n = items.len();
+        let profiling = profile::enabled();
         if self.threads <= 1 || n <= 1 {
-            // The exact serial path: no pool, no chunking, no atomics.
-            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+            if !profiling {
+                // The exact serial path: no pool, no chunking, no atomics.
+                let _tasks = TaskScope::enter();
+                return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+            }
+            // Serial path with profiling: same iteration, plus one timer
+            // and a synthetic single-worker profile.
+            let started = Instant::now();
+            let out: Vec<R> = {
+                let _tasks = TaskScope::enter();
+                items.iter().enumerate().map(|(i, item)| f(i, item)).collect()
+            };
+            let wall_nanos = started.elapsed().as_nanos() as u64;
+            let one_chunk = u64::from(n > 0);
+            profile::record(profile::PoolProfile {
+                threads: 1,
+                items: n as u64,
+                n_chunks: one_chunk,
+                wall_nanos,
+                workers: vec![profile::WorkerStats {
+                    worker: 0,
+                    chunks: one_chunk,
+                    items: n as u64,
+                    busy_nanos: wall_nanos,
+                }],
+                chunks: if n == 0 {
+                    Vec::new()
+                } else {
+                    vec![profile::ChunkStats {
+                        chunk: 0,
+                        worker: 0,
+                        items: n as u64,
+                        busy_nanos: wall_nanos,
+                        queue_depth_at_dispatch: 1,
+                    }]
+                },
+            });
+            return out;
         }
         let workers = self.threads.min(n);
         // More chunks than workers so an unlucky slow chunk cannot leave
@@ -143,23 +216,78 @@ impl Pool {
         // decides merge order.
         let n_chunks = n.min(workers * 4);
         let chunk_size = n.div_ceil(n_chunks);
+        let started = Instant::now();
         let next_chunk = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+        let worker_stats: Mutex<Vec<profile::WorkerStats>> = Mutex::new(Vec::new());
+        let chunk_stats: Mutex<Vec<profile::ChunkStats>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
-                    if chunk >= n_chunks {
-                        break;
+            let f = &f;
+            let next_chunk = &next_chunk;
+            let done = &done;
+            let worker_stats = &worker_stats;
+            let chunk_stats = &chunk_stats;
+            for worker in 0..workers {
+                scope.spawn(move || {
+                    let _tasks = TaskScope::enter();
+                    let mut my = profile::WorkerStats {
+                        worker,
+                        chunks: 0,
+                        items: 0,
+                        busy_nanos: 0,
+                    };
+                    let mut my_chunks: Vec<profile::ChunkStats> = Vec::new();
+                    loop {
+                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= n_chunks {
+                            break;
+                        }
+                        // Trailing chunks can fall entirely past the end
+                        // when chunk_size * n_chunks > n; clamp to empty.
+                        let lo = (chunk * chunk_size).min(n);
+                        let hi = ((chunk + 1) * chunk_size).min(n);
+                        let chunk_start = profiling.then(Instant::now);
+                        let results: Vec<R> =
+                            (lo..hi).map(|i| f(i, &items[i])).collect();
+                        if let Some(t0) = chunk_start {
+                            let busy_nanos = t0.elapsed().as_nanos() as u64;
+                            my.chunks += 1;
+                            my.items += (hi - lo) as u64;
+                            my.busy_nanos += busy_nanos;
+                            my_chunks.push(profile::ChunkStats {
+                                chunk,
+                                worker,
+                                items: (hi - lo) as u64,
+                                busy_nanos,
+                                queue_depth_at_dispatch: (n_chunks - chunk) as u64,
+                            });
+                        }
+                        done.lock().expect("worker panicked holding results").push((chunk, results));
                     }
-                    let lo = chunk * chunk_size;
-                    let hi = ((chunk + 1) * chunk_size).min(n);
-                    let results: Vec<R> =
-                        (lo..hi).map(|i| f(i, &items[i])).collect();
-                    done.lock().expect("worker panicked holding results").push((chunk, results));
+                    if profiling {
+                        worker_stats.lock().expect("profile mutex poisoned").push(my);
+                        chunk_stats
+                            .lock()
+                            .expect("profile mutex poisoned")
+                            .extend(my_chunks);
+                    }
                 });
             }
         });
+        if profiling {
+            let mut workers_v = worker_stats.into_inner().expect("profile mutex poisoned");
+            workers_v.sort_unstable_by_key(|w| w.worker);
+            let mut chunks_v = chunk_stats.into_inner().expect("profile mutex poisoned");
+            chunks_v.sort_unstable_by_key(|c| c.chunk);
+            profile::record(profile::PoolProfile {
+                threads: self.threads,
+                items: n as u64,
+                n_chunks: n_chunks as u64,
+                wall_nanos: started.elapsed().as_nanos() as u64,
+                workers: workers_v,
+                chunks: chunks_v,
+            });
+        }
         // Ordered reduction: merge by chunk id = submission order.
         let mut chunks = done.into_inner().expect("worker panicked holding results");
         chunks.sort_unstable_by_key(|(chunk, _)| *chunk);
@@ -252,7 +380,7 @@ mod tests {
     #[test]
     fn borrowed_inputs_work() {
         // Scoped threads: closures may borrow from the caller's stack.
-        let base = vec![10u64, 20, 30];
+        let base = [10u64, 20, 30];
         let offsets: Vec<u64> = (0..50).collect();
         let got = Pool::with_threads(4).par_map(&offsets, |o| base[(*o % 3) as usize] + o);
         assert_eq!(got.len(), 50);

@@ -1,0 +1,148 @@
+//! Optional per-call execution profiles for [`Pool::par_map`].
+//!
+//! When enabled (the CLI's `--obs` flag turns this on via `kooza-obs`),
+//! every `par_map`/`par_map_indexed` call records a [`PoolProfile`]: how
+//! many items and chunks it processed, how the chunks were distributed
+//! over workers, each worker's busy time, and the claim-queue depth at
+//! every chunk dispatch. Profiles accumulate in a process-global buffer
+//! and are drained with [`take`].
+//!
+//! Everything here is wall-clock, scheduling-dependent bookkeeping: which
+//! worker ran which chunk is decided by the OS scheduler, so profiles are
+//! **not** deterministic and are excluded from deterministic exports.
+//! They never feed back into task execution — results are still merged in
+//! submission order — so enabling profiling cannot change any computed
+//! output.
+//!
+//! [`Pool::par_map`]: crate::Pool::par_map
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// One worker's share of a single `par_map` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index within the pool (spawn order).
+    pub worker: usize,
+    /// Chunks this worker claimed.
+    pub chunks: u64,
+    /// Items this worker processed.
+    pub items: u64,
+    /// Wall-clock time spent inside task bodies, nanoseconds.
+    pub busy_nanos: u64,
+}
+
+/// One chunk's execution record within a single `par_map` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Chunk index (= merge position).
+    pub chunk: usize,
+    /// Worker that executed it.
+    pub worker: usize,
+    /// Items in the chunk.
+    pub items: u64,
+    /// Wall-clock time to execute the chunk, nanoseconds.
+    pub busy_nanos: u64,
+    /// Chunks not yet claimed (including this one) at the moment this
+    /// chunk was dispatched — the claim-queue depth.
+    pub queue_depth_at_dispatch: u64,
+}
+
+/// The full profile of one `par_map`/`par_map_indexed` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolProfile {
+    /// Thread count the pool ran with (1 = the exact serial path).
+    pub threads: usize,
+    /// Total items mapped.
+    pub items: u64,
+    /// Number of chunks the items were split into.
+    pub n_chunks: u64,
+    /// End-to-end wall-clock time of the call, nanoseconds.
+    pub wall_nanos: u64,
+    /// Per-worker totals, sorted by worker index.
+    pub workers: Vec<WorkerStats>,
+    /// Per-chunk records, sorted by chunk index.
+    pub chunks: Vec<ChunkStats>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PROFILES: Mutex<Vec<PoolProfile>> = Mutex::new(Vec::new());
+
+/// Turns profile collection on or off (off by default; the cost when off
+/// is one atomic load per `par_map` call).
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether profiles are currently being collected.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// Appends a finished profile (called by the pool).
+pub(crate) fn record(profile: PoolProfile) {
+    PROFILES.lock().expect("profile buffer poisoned").push(profile);
+}
+
+/// Drains and returns every profile collected since the last call.
+pub fn take() -> Vec<PoolProfile> {
+    std::mem::take(&mut *PROFILES.lock().expect("profile buffer poisoned"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pool;
+
+    /// One test drives every profiling scenario: the enabled flag and the
+    /// profile buffer are process-global, so a single #[test] keeps this
+    /// binary free of cross-test races.
+    #[test]
+    fn profiles_cover_serial_and_parallel_calls() {
+        let _ = take();
+        // Disabled: nothing recorded.
+        let items: Vec<u64> = (0..100).collect();
+        let _ = Pool::with_threads(4).par_map(&items, |x| x + 1);
+        assert!(take().is_empty());
+
+        set_enabled(true);
+        // Serial path: a single synthetic worker 0.
+        let got = Pool::with_threads(1).par_map(&items, |x| x * 2);
+        assert_eq!(got[99], 198);
+        // Parallel path.
+        let got = Pool::with_threads(4).par_map(&items, |x| x * 3);
+        assert_eq!(got[99], 297);
+        set_enabled(false);
+
+        let profiles = take();
+        assert_eq!(profiles.len(), 2);
+
+        let serial = &profiles[0];
+        assert_eq!(serial.threads, 1);
+        assert_eq!(serial.items, 100);
+        assert_eq!(serial.n_chunks, 1);
+        assert_eq!(serial.workers.len(), 1);
+        assert_eq!(serial.workers[0].items, 100);
+
+        let parallel = &profiles[1];
+        assert_eq!(parallel.threads, 4);
+        assert_eq!(parallel.items, 100);
+        assert_eq!(parallel.n_chunks, 16); // 4 workers × 4 chunks
+        // Every chunk accounted for, sorted, with sane dispatch depths.
+        assert_eq!(parallel.chunks.len(), 16);
+        for (i, c) in parallel.chunks.iter().enumerate() {
+            assert_eq!(c.chunk, i);
+            assert!(c.queue_depth_at_dispatch >= 1);
+            assert!(c.queue_depth_at_dispatch <= 16);
+        }
+        let worker_items: u64 = parallel.workers.iter().map(|w| w.items).sum();
+        assert_eq!(worker_items, 100);
+        let chunk_items: u64 = parallel.chunks.iter().map(|c| c.items).sum();
+        assert_eq!(chunk_items, 100);
+
+        // Profiling never perturbs results: same output with it off.
+        let baseline = Pool::with_threads(4).par_map(&items, |x| x * 3);
+        assert_eq!(got, baseline);
+        let _ = take();
+    }
+}

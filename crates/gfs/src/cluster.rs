@@ -84,6 +84,15 @@ pub struct ClusterStats {
     pub master_utilization: f64,
     /// Client metadata-cache hit ratio (1 when the master path is disabled).
     pub metadata_hit_ratio: f64,
+    /// Simulation events the engine processed.
+    pub events_processed: u64,
+    /// Deepest the engine's pending-event queue ever got.
+    pub pending_high_water: u64,
+    /// Requests served by each chunkserver (primary only).
+    pub requests_per_server: Vec<u64>,
+    /// Deepest any of a chunkserver's station queues (CPU, disk, net in,
+    /// net out) ever got, per server.
+    pub queue_high_water_per_server: Vec<u64>,
 }
 
 impl ClusterStats {
@@ -719,6 +728,20 @@ impl Cluster {
         }
 
         let end = engine.now();
+        let mut requests_per_server = vec![0u64; cfg.n_chunkservers];
+        for &s in &server_of {
+            requests_per_server[s] += 1;
+        }
+        let queue_high_water_per_server: Vec<u64> = servers
+            .iter()
+            .map(|s| {
+                s.cpu_pool
+                    .queue_high_water()
+                    .max(s.disk_pool.queue_high_water())
+                    .max(s.net_in_pool.queue_high_water())
+                    .max(s.net_out_pool.queue_high_water()) as u64
+            })
+            .collect();
         let stats = ClusterStats {
             completed: outcomes.len() as u64,
             latency_secs: latency,
@@ -734,7 +757,12 @@ impl Cluster {
             } else {
                 metadata_hits as f64 / metadata_lookups as f64
             },
+            events_processed: engine.processed(),
+            pending_high_water: engine.pending_high_water() as u64,
+            requests_per_server,
+            queue_high_water_per_server,
         };
+        self.publish_metrics(&stats, &outcomes);
         trace.spans = collector.spans().to_vec();
         trace.sort_by_time();
         // Partitioning the time-sorted trace keeps each server's records
@@ -749,6 +777,53 @@ impl Cluster {
             stats,
             requests: outcomes,
         }
+    }
+
+    /// Publishes one finished run's aggregate metrics to the global
+    /// observability registry (no-op unless `--obs` enabled it).
+    ///
+    /// Runs may execute inside `par_map` workers (`run_trials`), so only
+    /// commutative operations appear here — counter adds, gauge maxima,
+    /// integer histogram records — keeping the registry state identical
+    /// at any thread count. One `with_registry` call takes the lock once
+    /// per run, not once per event.
+    fn publish_metrics(&self, stats: &ClusterStats, outcomes: &[RequestOutcome]) {
+        if !kooza_obs::global::is_enabled() {
+            return;
+        }
+        /// Request latency buckets, nanoseconds: 1µs … 10s by decades.
+        const LATENCY_BOUNDS: &[u64] = &[
+            1_000,
+            10_000,
+            100_000,
+            1_000_000,
+            10_000_000,
+            100_000_000,
+            1_000_000_000,
+            10_000_000_000,
+        ];
+        /// Per-server request-count buckets.
+        const REQUESTS_BOUNDS: &[u64] = &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+        /// Station queue-depth buckets.
+        const QUEUE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+        kooza_obs::global::with_registry(|reg| {
+            reg.counter_add("gfs.requests_completed", stats.completed);
+            reg.counter_add("gfs.events_processed", stats.events_processed);
+            reg.counter_add("gfs.runs", 1);
+            reg.gauge_max("gfs.pending_high_water", stats.pending_high_water as f64);
+            let latency = reg.histogram_mut("gfs.request_latency_nanos", LATENCY_BOUNDS);
+            for outcome in outcomes {
+                latency.record(outcome.latency_nanos);
+            }
+            let per_server = reg.histogram_mut("gfs.server.requests", REQUESTS_BOUNDS);
+            for &n in &stats.requests_per_server {
+                per_server.record(n);
+            }
+            let queues = reg.histogram_mut("gfs.server.queue_high_water", QUEUE_BOUNDS);
+            for &depth in &stats.queue_high_water_per_server {
+                queues.record(depth);
+            }
+        });
     }
 
     /// Enqueues CPU stage 2 (aggregate/checksum) for a request.

@@ -1,0 +1,205 @@
+//! Scoped stage-span timers: a tree of pipeline phases.
+//!
+//! A [`StageRecorder`] turns `enter`/`exit` pairs (or [`StageRecorder::scoped`]
+//! closures) into a tree of named stages — train → generate → replay →
+//! validate — with entry counts and accumulated wall-clock time. Re-entering
+//! a name under the same parent merges into the existing node, so the tree's
+//! *shape* (names, nesting, order, counts) is deterministic for a
+//! deterministic pipeline; only the `wall_nanos` field varies run to run,
+//! and the JSONL export marks it as such.
+
+use std::time::Instant;
+
+/// One node of the finished stage tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageNode {
+    /// Stage name.
+    pub name: String,
+    /// How many times this stage was entered under this parent.
+    pub count: u64,
+    /// Accumulated wall-clock nanoseconds across entries
+    /// (**non-deterministic**: excluded from deterministic exports).
+    pub wall_nanos: u64,
+    /// Child stages, in first-entry order.
+    pub children: Vec<StageNode>,
+}
+
+/// Arena node during recording.
+#[derive(Debug)]
+struct Node {
+    name: String,
+    count: u64,
+    wall_nanos: u64,
+    children: Vec<usize>,
+}
+
+/// Records a tree of stage spans.
+#[derive(Debug, Default)]
+pub struct StageRecorder {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    /// Open stages: (node index, entry instant).
+    stack: Vec<(usize, Instant)>,
+}
+
+impl StageRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a stage. Must be balanced by [`StageRecorder::exit`].
+    pub fn enter(&mut self, name: &str) {
+        let siblings = match self.stack.last() {
+            Some(&(parent, _)) => &self.nodes[parent].children,
+            None => &self.roots,
+        };
+        let existing = siblings
+            .iter()
+            .copied()
+            .find(|&i| self.nodes[i].name == name);
+        let index = match existing {
+            Some(i) => i,
+            None => {
+                let i = self.nodes.len();
+                self.nodes.push(Node {
+                    name: name.to_string(),
+                    count: 0,
+                    wall_nanos: 0,
+                    children: Vec::new(),
+                });
+                match self.stack.last() {
+                    Some(&(parent, _)) => self.nodes[parent].children.push(i),
+                    None => self.roots.push(i),
+                }
+                i
+            }
+        };
+        self.nodes[index].count += 1;
+        self.stack.push((index, Instant::now()));
+    }
+
+    /// Closes the innermost open stage, accumulating its wall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stage is open.
+    pub fn exit(&mut self) {
+        let (index, started) = self.stack.pop().expect("exit without a matching enter");
+        self.nodes[index].wall_nanos += started.elapsed().as_nanos() as u64;
+    }
+
+    /// Runs `f` inside a stage named `name`.
+    pub fn scoped<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.enter(name);
+        let result = f(self);
+        self.exit();
+        result
+    }
+
+    /// Number of currently open stages.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The finished tree (open stages appear with the wall time recorded
+    /// so far).
+    pub fn roots(&self) -> Vec<StageNode> {
+        self.roots.iter().map(|&i| self.materialize(i)).collect()
+    }
+
+    fn materialize(&self, index: usize) -> StageNode {
+        let node = &self.nodes[index];
+        StageNode {
+            name: node.name.clone(),
+            count: node.count,
+            wall_nanos: node.wall_nanos,
+            children: node.children.iter().map(|&c| self.materialize(c)).collect(),
+        }
+    }
+}
+
+/// Flattens a stage forest pre-order into `(depth, node)` pairs — the
+/// shape the JSONL export and the renderer consume.
+pub fn flatten(roots: &[StageNode]) -> Vec<(usize, &StageNode)> {
+    fn walk<'a>(node: &'a StageNode, depth: usize, out: &mut Vec<(usize, &'a StageNode)>) {
+        out.push((depth, node));
+        for child in &node.children {
+            walk(child, depth + 1, out);
+        }
+    }
+    let mut out = Vec::new();
+    for root in roots {
+        walk(root, 0, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_stages_build_a_tree() {
+        let mut rec = StageRecorder::new();
+        rec.scoped("validate", |rec| {
+            rec.scoped("replay", |_| {});
+            rec.scoped("replay", |_| {});
+            rec.scoped("score", |_| {});
+        });
+        let roots = rec.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "validate");
+        assert_eq!(roots[0].count, 1);
+        let children: Vec<(&str, u64)> = roots[0]
+            .children
+            .iter()
+            .map(|c| (c.name.as_str(), c.count))
+            .collect();
+        assert_eq!(children, vec![("replay", 2), ("score", 1)]);
+    }
+
+    #[test]
+    fn same_name_different_parents_stay_separate() {
+        let mut rec = StageRecorder::new();
+        rec.scoped("a", |rec| rec.scoped("x", |_| {}));
+        rec.scoped("b", |rec| rec.scoped("x", |_| {}));
+        let roots = rec.roots();
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].children[0].name, "x");
+        assert_eq!(roots[1].children[0].name, "x");
+    }
+
+    #[test]
+    fn flatten_is_preorder_with_depths() {
+        let mut rec = StageRecorder::new();
+        rec.scoped("root", |rec| {
+            rec.scoped("child", |rec| rec.scoped("grandchild", |_| {}));
+        });
+        rec.scoped("tail", |_| {});
+        let roots = rec.roots();
+        let flat: Vec<(usize, &str)> = flatten(&roots)
+            .into_iter()
+            .map(|(d, n)| (d, n.name.as_str()))
+            .collect();
+        assert_eq!(
+            flat,
+            vec![(0, "root"), (1, "child"), (2, "grandchild"), (0, "tail")]
+        );
+    }
+
+    #[test]
+    fn wall_time_accumulates() {
+        let mut rec = StageRecorder::new();
+        rec.scoped("busy", |_| {
+            std::hint::black_box((0..10_000u64).sum::<u64>());
+        });
+        assert!(rec.roots()[0].wall_nanos > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exit without a matching enter")]
+    fn unbalanced_exit_panics() {
+        StageRecorder::new().exit();
+    }
+}

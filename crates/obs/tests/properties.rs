@@ -1,0 +1,117 @@
+//! Property-based invariants for the metrics layer, on the deterministic
+//! in-repo `kooza-check` harness.
+//!
+//! These are the algebraic facts the determinism contract leans on: a
+//! histogram is a faithful summary of the values recorded into it,
+//! snapshot merging is commutative (so parallel shards can combine in any
+//! order), and a snapshot survives the JSON round-trip bit-for-bit.
+
+use kooza_check::gen::{choice, u64_range, vec_of, zip2, Gen};
+use kooza_check::{checker, ensure, ensure_eq};
+use kooza_json::{FromJson, ToJson};
+use kooza_obs::{Histogram, MetricsRegistry, MetricsSnapshot};
+
+/// Shared bucket bounds: small enough that random values exercise every
+/// bucket including overflow.
+const BOUNDS: &[u64] = &[10, 100, 1_000, 10_000];
+
+/// A random event stream: (metric name, value) pairs.
+fn events() -> Gen<Vec<(String, u64)>> {
+    let name = choice(vec!["alpha".to_string(), "beta".to_string(), "gamma".to_string()]);
+    vec_of(zip2(name, u64_range(0, 50_000)), 0, 48)
+}
+
+/// Plays an event stream into a fresh registry: each event bumps its named
+/// counter, raises a shared gauge high-water mark and records into a
+/// shared histogram — one of every metric kind.
+fn snapshot_from(events: &[(String, u64)]) -> MetricsSnapshot {
+    let mut reg = MetricsRegistry::new();
+    for (name, v) in events {
+        reg.counter_add(name, *v);
+        reg.gauge_max("peak", *v as f64);
+        reg.histogram_record("values", BOUNDS, *v);
+    }
+    reg.snapshot()
+}
+
+#[test]
+fn histogram_summarizes_its_inputs_exactly() {
+    checker("histogram_summarizes_its_inputs_exactly").run(
+        vec_of(u64_range(0, 50_000), 0, 64),
+        |values| {
+            let mut h = Histogram::new(BOUNDS);
+            for &v in values {
+                h.record(v);
+            }
+            // Bucket counts partition the recorded values.
+            ensure_eq!(h.counts().iter().sum::<u64>(), h.count());
+            ensure_eq!(h.count(), values.len() as u64);
+            ensure_eq!(h.sum(), values.iter().sum::<u64>());
+            if values.is_empty() {
+                ensure_eq!(h.min(), u64::MAX);
+                ensure_eq!(h.max(), 0);
+            } else {
+                ensure_eq!(h.min(), *values.iter().min().unwrap());
+                ensure_eq!(h.max(), *values.iter().max().unwrap());
+            }
+            // At a bucket bound, fraction_above matches a direct count.
+            for &b in BOUNDS {
+                let direct = values.iter().filter(|&&v| v > b).count() as f64
+                    / values.len().max(1) as f64;
+                let frac = h.fraction_above(b);
+                ensure!((frac - direct).abs() < 1e-12, "above {b}: {frac} vs {direct}");
+            }
+            // Recording a split stream and merging equals recording whole.
+            let (left, right) = values.split_at(values.len() / 2);
+            let mut merged = Histogram::new(BOUNDS);
+            for &v in left {
+                merged.record(v);
+            }
+            let mut rest = Histogram::new(BOUNDS);
+            for &v in right {
+                rest.record(v);
+            }
+            merged.merge_from(&rest);
+            ensure_eq!(merged, h);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn snapshot_merge_commutes() {
+    checker("snapshot_merge_commutes").run(zip2(events(), events()), |(a, b)| {
+        let (sa, sb) = (snapshot_from(a), snapshot_from(b));
+        let ab = sa.merge(&sb);
+        let ba = sb.merge(&sa);
+        ensure_eq!(ab, ba);
+        // Byte-identical too — the serialized form is what determinism
+        // tests compare.
+        ensure_eq!(
+            kooza_json::to_string(&ab.to_json()),
+            kooza_json::to_string(&ba.to_json())
+        );
+        // Merging shards equals recording the concatenated stream: the
+        // registry could have seen the events in one run.
+        let concat: Vec<(String, u64)> = a.iter().chain(b).cloned().collect();
+        ensure_eq!(ab, snapshot_from(&concat));
+        Ok(())
+    });
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    checker("snapshot_round_trips_through_json").run(events(), |events| {
+        let snap = snapshot_from(events);
+        let text = kooza_json::to_string(&snap.to_json());
+        let parsed = kooza_json::parse(&text).map_err(|e| {
+            kooza_check::CaseResult::Fail(format!("parse: {e}"))
+        })?;
+        let back = MetricsSnapshot::from_json(&parsed).map_err(|e| {
+            kooza_check::CaseResult::Fail(format!("from_json: {e}"))
+        })?;
+        ensure_eq!(back, snap);
+        ensure_eq!(kooza_json::to_string(&back.to_json()), text);
+        Ok(())
+    });
+}

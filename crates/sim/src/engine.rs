@@ -53,6 +53,7 @@ pub struct Engine<E> {
     seq: u64,
     heap: BinaryHeap<Scheduled<E>>,
     processed: u64,
+    pending_high_water: usize,
 }
 
 impl<E> std::fmt::Debug for Engine<E> {
@@ -79,6 +80,7 @@ impl<E> Engine<E> {
             seq: 0,
             heap: BinaryHeap::new(),
             processed: 0,
+            pending_high_water: 0,
         }
     }
 
@@ -95,6 +97,12 @@ impl<E> Engine<E> {
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
         self.heap.len()
+    }
+
+    /// The most events that were ever pending at once — how deep the
+    /// event queue got. Survives [`Engine::clear`].
+    pub fn pending_high_water(&self) -> usize {
+        self.pending_high_water
     }
 
     /// Schedules `event` to fire `delay` after the current time.
@@ -118,6 +126,7 @@ impl<E> Engine<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, event });
+        self.pending_high_water = self.pending_high_water.max(self.heap.len());
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
@@ -233,6 +242,29 @@ mod tests {
         });
         assert_eq!(seen, vec![5, 4, 3, 2, 1, 0]);
         assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn pending_high_water_tracks_queue_depth() {
+        let mut eng = Engine::new();
+        assert_eq!(eng.pending_high_water(), 0);
+        eng.schedule(SimDuration::from_nanos(1), 'a');
+        eng.schedule(SimDuration::from_nanos(2), 'b');
+        eng.schedule(SimDuration::from_nanos(3), 'c');
+        assert_eq!(eng.pending_high_water(), 3);
+        let _ = eng.next();
+        let _ = eng.next();
+        // Draining does not lower the mark; a shallower refill keeps it.
+        eng.schedule(SimDuration::from_nanos(4), 'd');
+        assert_eq!(eng.pending(), 2);
+        assert_eq!(eng.pending_high_water(), 3);
+        // A deeper queue raises it, and clear() keeps the history.
+        eng.schedule(SimDuration::from_nanos(5), 'e');
+        eng.schedule(SimDuration::from_nanos(6), 'f');
+        eng.schedule(SimDuration::from_nanos(7), 'g');
+        assert_eq!(eng.pending_high_water(), 5);
+        eng.clear();
+        assert_eq!(eng.pending_high_water(), 5);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub struct ServerPool<J> {
     total_wait: SimDuration,
     started: u64,
     arrived: u64,
+    queue_high_water: usize,
 }
 
 impl<J> ServerPool<J> {
@@ -55,6 +56,7 @@ impl<J> ServerPool<J> {
             total_wait: SimDuration::ZERO,
             started: 0,
             arrived: 0,
+            queue_high_water: 0,
         }
     }
 
@@ -72,6 +74,7 @@ impl<J> ServerPool<J> {
             Some(job)
         } else {
             self.queue.push_back((now, job));
+            self.queue_high_water = self.queue_high_water.max(self.queue.len());
             self.queue_len.record(now, self.queue.len() as f64);
             None
         }
@@ -112,6 +115,11 @@ impl<J> ServerPool<J> {
     /// Number of jobs waiting in queue.
     pub fn queued(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The longest the queue ever got.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
     }
 
     /// Total jobs that have arrived.
@@ -169,6 +177,21 @@ mod tests {
         assert_eq!(pool.busy(), 3);
         assert_eq!(pool.complete(SimTime::from_nanos(5)), Some('d'));
         assert_eq!(pool.busy(), 3);
+    }
+
+    #[test]
+    fn queue_high_water_survives_draining() {
+        let mut pool = ServerPool::new(1);
+        let t = SimTime::ZERO;
+        assert_eq!(pool.queue_high_water(), 0);
+        assert!(pool.arrive(t, 0).is_some());
+        assert!(pool.arrive(t, 1).is_none());
+        assert!(pool.arrive(t, 2).is_none());
+        assert_eq!(pool.queue_high_water(), 2);
+        assert!(pool.complete(SimTime::from_nanos(5)).is_some());
+        assert!(pool.complete(SimTime::from_nanos(6)).is_some());
+        assert_eq!(pool.queued(), 0);
+        assert_eq!(pool.queue_high_water(), 2);
     }
 
     #[test]

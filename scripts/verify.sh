@@ -36,6 +36,9 @@ cargo build --release --offline --workspace
 echo "== tier-1: full test suite =="
 cargo test -q --offline --workspace
 
+echo "== lint gate: clippy clean at -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== benchmarks compile and smoke-run =="
 cargo bench --offline -p kooza-bench --bench micro -- --test >/dev/null
 
@@ -43,5 +46,10 @@ echo "== thread-count determinism: tables identical at KOOZA_THREADS=8 =="
 # The test itself sweeps 1/2/8 via the thread override; running it under
 # KOOZA_THREADS=8 additionally exercises the env-var sizing path.
 KOOZA_THREADS=8 cargo test -q --offline --test determinism
+
+echo "== observability determinism: stripped --obs report identical at KOOZA_THREADS=8 =="
+# Same sweep pattern: the test compares stripped JSONL at 1/2/8 threads
+# internally; the env var exercises the sizing path on top.
+KOOZA_THREADS=8 cargo test -q --offline --test obs_determinism
 
 echo "verify: OK"
