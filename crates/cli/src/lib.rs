@@ -21,8 +21,8 @@ use std::path::Path;
 use kooza::class::assemble_observations;
 use kooza::crossexam::cross_examine;
 use kooza::validate::validate;
-use kooza::{InBreadthModel, InDepthModel, Kooza, ReplayConfig, WorkloadModel};
-use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
+use kooza::{fault_drift, InBreadthModel, InDepthModel, Kooza, ReplayConfig, WorkloadModel};
+use kooza_gfs::{Cluster, ClusterConfig, FaultSpec, WorkloadMix};
 use kooza_sim::rng::Rng64;
 use kooza_trace::characterize::{arrival_profile, cpu_profile, memory_profile, storage_profile};
 use kooza_trace::TraceSet;
@@ -33,7 +33,7 @@ usage: kooza <command> [options]
 
 commands:
   simulate     --out <path> [--requests N] [--seed S] [--workload read|write|mixed]
-               [--servers K] [--consult-master]
+               [--servers K] [--consult-master] [--faults <spec>]
                run the GFS simulator and write a JSONL trace
   characterize --trace <path>
                per-subsystem workload profiles of a trace
@@ -41,13 +41,30 @@ commands:
                train the KOOZA model and print its structure
   validate     --trace <path> [--n N] [--seed S]
                train, generate, and compare features/latency (Table 2)
+  validate     --faults <spec> [--requests N] [--servers K] [--seed S]
+               [--workload read|write|mixed]
+               simulate a healthy and a fault-injected cluster with the
+               same workload, train KOOZA on both traces, and report the
+               Table-2 error drift the faults cause
   crossexam    --trace <path> [--n N] [--seed S]
                score kooza vs in-breadth vs in-depth on this trace (Table 1)
+               (with --faults <spec>: train on an internally simulated
+               fault-injected trace instead of --trace)
   obs          --report <path> [--strip]
                pretty-print an observability report written by --obs
                (--strip instead emits the deterministic JSONL subset:
                meta/pool lines and wall-clock fields removed)
   help         print this message
+
+fault spec (comma-separated key=value; all keys optional):
+  mttf/mttr    mean secs between chunkserver crashes / to recovery
+  slow         max disk slowdown factor while degraded
+  degraded     secs a recovered disk stays degraded
+  drop         per-message link drop probability
+  timeout      client retry timeout (secs); backoff: multiplier per retry
+  retries      max client retries before a request fails
+  batch/detect re-replication batch size / failure-detection delay (secs)
+  seed         fault-plan RNG stream (independent of the workload seed)
 
 global options (accepted by every command):
   --threads N  worker threads for the parallel pipeline stages; results
@@ -197,6 +214,13 @@ fn workload_by_name(name: &str) -> Result<WorkloadMix, CliError> {
     }
 }
 
+/// `--faults <spec>`, parsed; `None` when the option is absent.
+fn parse_faults(opts: &Options) -> Result<Option<FaultSpec>, CliError> {
+    opts.get("faults")
+        .map(|spec| FaultSpec::parse(spec).map_err(|e| err(format!("--faults: {e}"))))
+        .transpose()
+}
+
 fn load_trace(opts: &Options) -> Result<(TraceSet, String), CliError> {
     let path = opts.require("trace")?;
     let file = File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
@@ -219,6 +243,7 @@ fn simulate(opts: &Options) -> Result<String, CliError> {
     };
     config.workload = workload;
     config.consult_master = opts.has_flag("consult-master");
+    config.faults = parse_faults(opts)?;
     let mut cluster = Cluster::new(&config).map_err(|e| err(e.to_string()))?;
     let outcome = cluster.run(requests, seed);
 
@@ -227,7 +252,7 @@ fn simulate(opts: &Options) -> Result<String, CliError> {
         .trace
         .write_jsonl(file)
         .map_err(|e| err(format!("cannot write {out}: {e}")))?;
-    Ok(format!(
+    let mut report = format!(
         "simulated {} requests on {} server(s) (seed {seed})\n\
          throughput {:.1} req/s | mean latency {:.3} ms | cache hit {:.1}%\n\
          wrote {} records to {out}",
@@ -237,7 +262,16 @@ fn simulate(opts: &Options) -> Result<String, CliError> {
         outcome.stats.latency_secs.mean() * 1e3,
         outcome.stats.cache_hit_ratio.first().copied().unwrap_or(0.0) * 100.0,
         outcome.trace.len(),
-    ))
+    );
+    if config.faults.is_some() {
+        let f = outcome.stats.faults;
+        report += &format!(
+            "\nfaults: {} crashes, {} retries, {} failovers, {} re-replications, \
+             {} failed requests",
+            f.crashes, f.retries, f.failovers, f.rereplications, f.requests_failed,
+        );
+    }
+    Ok(report)
 }
 
 fn characterize(opts: &Options) -> Result<String, CliError> {
@@ -310,7 +344,40 @@ fn fit(opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The cluster a fault-mode command (validate/crossexam `--faults`)
+/// simulates internally: multi-server by default so replication and
+/// failover have somewhere to go.
+fn fault_mode_config(opts: &Options) -> Result<(ClusterConfig, u64), CliError> {
+    let servers: usize = opts.parse_num("servers", 3)?;
+    let requests: u64 = opts.parse_num("requests", 800)?;
+    let mut config = if servers > 1 {
+        ClusterConfig::cluster(servers)
+    } else {
+        ClusterConfig::small()
+    };
+    config.workload = workload_by_name(opts.get("workload").unwrap_or("mixed"))?;
+    Ok((config, requests))
+}
+
+/// `kooza validate --faults`: healthy vs fault-injected training drift.
+fn validate_faults(opts: &Options, faults: FaultSpec) -> Result<String, CliError> {
+    let seed: u64 = opts.parse_num("seed", 1)?;
+    let (config, requests) = fault_mode_config(opts)?;
+    let report = fault_drift(&config, faults, requests, seed).map_err(|e| err(e.to_string()))?;
+    Ok(format!(
+        "fault drift over {requests} requests on {} server(s) (seed {seed})\n{}\
+         max feature drift {:+.2}% | latency drift {:+.2}%",
+        config.n_chunkservers,
+        report.render(),
+        report.max_feature_drift(),
+        report.latency_drift().unwrap_or(f64::NAN),
+    ))
+}
+
 fn validate_cmd(opts: &Options) -> Result<String, CliError> {
+    if let Some(faults) = parse_faults(opts)? {
+        return validate_faults(opts, faults);
+    }
     let (trace, path) = load_trace(opts)?;
     let n: usize = opts.parse_num("n", 1000)?;
     let seed: u64 = opts.parse_num("seed", 1)?;
@@ -329,9 +396,21 @@ fn validate_cmd(opts: &Options) -> Result<String, CliError> {
 }
 
 fn crossexam(opts: &Options) -> Result<String, CliError> {
-    let (trace, path) = load_trace(opts)?;
     let n: usize = opts.parse_num("n", 1000)?;
     let seed: u64 = opts.parse_num("seed", 1)?;
+    let (trace, path) = if let Some(faults) = parse_faults(opts)? {
+        let (mut config, requests) = fault_mode_config(opts)?;
+        config.faults = Some(faults);
+        let mut cluster = Cluster::new(&config).map_err(|e| err(e.to_string()))?;
+        let outcome = cluster.run(requests, seed);
+        let label = format!(
+            "fault-injected cluster ({} servers, {} requests, {} crashes)",
+            config.n_chunkservers, requests, outcome.stats.faults.crashes,
+        );
+        (outcome.trace, label)
+    } else {
+        load_trace(opts)?
+    };
     let observations = assemble_observations(&trace).map_err(|e| err(e.to_string()))?;
     let kooza = Kooza::fit(&trace).map_err(|e| err(e.to_string()))?;
     let inb = InBreadthModel::fit(&trace).map_err(|e| err(e.to_string()))?;
@@ -483,6 +562,65 @@ mod tests {
         assert!(run(&args("simulate --requests")).is_err()); // value missing
         assert!(run(&args("simulate --out /tmp/x --requests abc")).is_err());
         assert!(run(&args("simulate stray")).is_err());
+    }
+
+    #[test]
+    fn simulate_with_faults_reports_counters_and_stays_deterministic() {
+        let p1 = temp_path("faults1");
+        let p2 = temp_path("faults2");
+        let spec = "mttf=2,mttr=0.5,timeout=0.3,retries=10";
+        let cmd = |p: &str| {
+            format!("simulate --out {p} --requests 400 --seed 21 --servers 4 --faults {spec}")
+        };
+        let out = run(&args(&cmd(&p1))).unwrap();
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("crashes"), "{out}");
+        run(&args(&cmd(&p2))).unwrap();
+        let a = std::fs::read_to_string(&p1).unwrap();
+        let b = std::fs::read_to_string(&p2).unwrap();
+        assert_eq!(a, b);
+        cleanup(&p1);
+        cleanup(&p2);
+
+        // A healthy run never prints the fault summary.
+        let p3 = temp_path("faults3");
+        let out =
+            run(&args(&format!("simulate --out {p3} --requests 50 --seed 21 --servers 4")))
+                .unwrap();
+        assert!(!out.contains("faults:"), "{out}");
+        cleanup(&p3);
+    }
+
+    #[test]
+    fn validate_faults_reports_drift_without_a_trace() {
+        let out = run(&args(
+            "validate --faults mttf=3,mttr=0.5,timeout=0.4,retries=10 \
+             --requests 500 --servers 4 --seed 7",
+        ))
+        .unwrap();
+        assert!(out.contains("fault drift over 500 requests"), "{out}");
+        assert!(out.contains("Drift"), "{out}");
+        assert!(out.contains("crashes"), "{out}");
+        assert!(out.contains("max feature drift"), "{out}");
+    }
+
+    #[test]
+    fn crossexam_with_faults_trains_on_a_faulty_trace() {
+        let out = run(&args(
+            "crossexam --faults mttf=3,mttr=0.5,timeout=0.4,retries=10 \
+             --requests 400 --servers 4 --n 300 --seed 5",
+        ))
+        .unwrap();
+        assert!(out.contains("fault-injected cluster"), "{out}");
+        assert!(out.contains("kooza"), "{out}");
+        assert!(out.contains("in-breadth"), "{out}");
+    }
+
+    #[test]
+    fn bad_fault_specs_are_rejected() {
+        assert!(run(&args("simulate --out /tmp/x --faults nonsense")).is_err());
+        assert!(run(&args("simulate --out /tmp/x --faults mttf=-1")).is_err());
+        assert!(run(&args("validate --faults gibberish=1")).is_err());
     }
 
     #[test]

@@ -72,7 +72,9 @@ pub use replay::{
     replay_latency_secs, replay_loaded_latency_secs, replay_loaded_latency_secs_batches,
     ReplayConfig,
 };
-pub use validate::{validate_batch, ValidationCase};
+pub use validate::{
+    fault_drift, validate_batch, FaultDriftReport, FaultDriftRow, ValidationCase,
+};
 
 use kooza_sim::rng::Rng64;
 use kooza_trace::record::IoOp;
@@ -247,6 +249,8 @@ pub enum ModelError {
     Stats(kooza_stats::StatsError),
     /// An underlying Markov routine failed.
     Markov(kooza_markov::MarkovError),
+    /// A cluster simulation inside a harness rejected its configuration.
+    Cluster(kooza_gfs::GfsError),
 }
 
 impl std::fmt::Display for ModelError {
@@ -258,6 +262,7 @@ impl std::fmt::Display for ModelError {
             }
             ModelError::Stats(e) => write!(f, "statistics failure: {e}"),
             ModelError::Markov(e) => write!(f, "markov failure: {e}"),
+            ModelError::Cluster(e) => write!(f, "cluster simulation failure: {e}"),
         }
     }
 }
@@ -267,8 +272,15 @@ impl std::error::Error for ModelError {
         match self {
             ModelError::Stats(e) => Some(e),
             ModelError::Markov(e) => Some(e),
+            ModelError::Cluster(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<kooza_gfs::GfsError> for ModelError {
+    fn from(e: kooza_gfs::GfsError) -> Self {
+        ModelError::Cluster(e)
     }
 }
 

@@ -5,12 +5,20 @@
 //! request size, CPU utilization, memory size/type, storage size/type, and
 //! latency of original vs KOOZA-generated requests, reporting ≤1%
 //! variation on features and ≤6.6% on latency.
+//!
+//! [`fault_drift`] extends the harness to faulty clusters: it trains KOOZA
+//! on a healthy trace and on a fault-injected trace of the same workload,
+//! validates both, and reports how much each Table-2 error moves — the
+//! robustness question the paper's healthy-cluster setup leaves open.
 
+use kooza_gfs::{Cluster, ClusterConfig, FaultSpec, FaultStats};
+use kooza_sim::rng::Rng64;
 use kooza_trace::record::IoOp;
+use kooza_trace::TraceSet;
 
-use crate::class::RequestObservation;
+use crate::class::{assemble_observations, RequestObservation};
 use crate::replay::{replay_loaded_latency_secs, ReplayConfig};
-use crate::{SyntheticRequest, WorkloadModel};
+use crate::{Kooza, SyntheticRequest, WorkloadModel};
 
 /// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -320,6 +328,151 @@ pub fn validate_batch(cases: &[ValidationCase<'_>]) -> Vec<ValidationReport> {
     })
 }
 
+/// One metric's movement between the healthy and faulty validations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDriftRow {
+    /// Subsystem the metric belongs to.
+    pub subsystem: &'static str,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Validation variation when trained on the healthy trace.
+    pub healthy_variation: f64,
+    /// Validation variation when trained on the faulty trace.
+    pub faulty_variation: f64,
+    /// `faulty - healthy`: positive means faults made the model worse.
+    pub drift: f64,
+}
+
+/// How KOOZA's Table-2 errors move when its training trace comes from a
+/// fault-injected cluster instead of a healthy one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDriftReport {
+    /// Validation of the model trained on the healthy trace.
+    pub healthy: ValidationReport,
+    /// Validation of the model trained on the faulty trace.
+    pub faulty: ValidationReport,
+    /// Fault counters of the faulty run (evidence faults actually fired).
+    pub fault_stats: FaultStats,
+    /// Requests the healthy run completed.
+    pub healthy_completed: u64,
+    /// Requests the faulty run completed (failures excluded).
+    pub faulty_completed: u64,
+}
+
+impl FaultDriftReport {
+    /// Per-metric drift, pairing rows by (subsystem, metric).
+    pub fn drift_rows(&self) -> Vec<FaultDriftRow> {
+        self.healthy
+            .rows
+            .iter()
+            .filter_map(|h| {
+                let f = self
+                    .faulty
+                    .rows
+                    .iter()
+                    .find(|f| f.subsystem == h.subsystem && f.metric == h.metric)?;
+                Some(FaultDriftRow {
+                    subsystem: h.subsystem,
+                    metric: h.metric,
+                    healthy_variation: h.variation,
+                    faulty_variation: f.variation,
+                    drift: f.variation - h.variation,
+                })
+            })
+            .collect()
+    }
+
+    /// Worst absolute feature drift (all rows except latency).
+    pub fn max_feature_drift(&self) -> f64 {
+        self.drift_rows()
+            .iter()
+            .filter(|r| r.metric != "latency")
+            .map(|r| r.drift.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Latency drift, if both sides measured it.
+    pub fn latency_drift(&self) -> Option<f64> {
+        self.drift_rows().iter().find(|r| r.metric == "latency").map(|r| r.drift)
+    }
+
+    /// Renders the drift table plus a fault summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:<22} {:>12} {:>12} {:>10}\n",
+            "Subsystem", "Metric", "Healthy", "Faulty", "Drift"
+        ));
+        for r in self.drift_rows() {
+            out.push_str(&format!(
+                "{:<10} {:<22} {:>11.2}% {:>11.2}% {:>+9.2}%\n",
+                r.subsystem, r.metric, r.healthy_variation, r.faulty_variation, r.drift,
+            ));
+        }
+        let f = &self.fault_stats;
+        out.push_str(&format!(
+            "faults: {} crashes, {} retries, {} failovers, {} re-replications, \
+             {} failed requests ({}/{} completed)\n",
+            f.crashes,
+            f.retries,
+            f.failovers,
+            f.rereplications,
+            f.requests_failed,
+            self.faulty_completed,
+            self.healthy_completed,
+        ));
+        out
+    }
+}
+
+/// Trains and validates KOOZA on one trace (one side of the drift report).
+fn fit_and_validate(
+    trace: &TraceSet,
+    replay_config: ReplayConfig,
+    seed: u64,
+) -> crate::Result<ValidationReport> {
+    let obs = assemble_observations(trace)?;
+    let model = Kooza::fit(trace)?;
+    let mut rng = Rng64::new(seed ^ 0x5EED_FA17);
+    let synthetic = model.generate(obs.len(), &mut rng);
+    Ok(validate(&model, &obs, &synthetic, replay_config))
+}
+
+/// Runs the same workload on a healthy and a fault-injected cluster,
+/// trains KOOZA on both traces, validates both models, and reports the
+/// per-metric error drift. Both runs share `config` (minus the fault spec)
+/// and the workload seed, so the drift isolates the effect of the faults.
+///
+/// # Errors
+///
+/// Returns [`crate::ModelError::Cluster`] for an invalid configuration or
+/// fault spec, or a training error if a trace is too damaged to fit (for
+/// example, every request failed).
+pub fn fault_drift(
+    config: &ClusterConfig,
+    faults: FaultSpec,
+    n_requests: u64,
+    seed: u64,
+) -> crate::Result<FaultDriftReport> {
+    kooza_obs::global::counter_add("validate.fault_drift.cases", 1);
+    kooza_obs::global::stage("fault_drift", || {
+        let mut healthy_cfg = config.clone();
+        healthy_cfg.faults = None;
+        let mut faulty_cfg = config.clone();
+        faulty_cfg.faults = Some(faults);
+        let healthy = Cluster::new(&healthy_cfg)?.run(n_requests, seed);
+        let faulty = Cluster::new(&faulty_cfg)?.run(n_requests, seed);
+        let replay_config = ReplayConfig::from(config);
+        Ok(FaultDriftReport {
+            healthy: fit_and_validate(&healthy.trace, replay_config, seed)?,
+            faulty: fit_and_validate(&faulty.trace, replay_config, seed)?,
+            fault_stats: faulty.stats.faults,
+            healthy_completed: healthy.stats.completed,
+            faulty_completed: faulty.stats.completed,
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +568,42 @@ mod tests {
             let serial = validate(case.model, case.observations, case.synthetic, case.replay_config);
             assert_eq!(*report, serial, "case {}", case.label);
         }
+    }
+
+    #[test]
+    fn fault_drift_compares_healthy_and_faulty_training() {
+        let mut config = ClusterConfig::cluster(4);
+        config.workload = WorkloadMix::mixed();
+        config.workload.mean_interarrival_secs = 0.1;
+        let faults =
+            kooza_gfs::FaultSpec::parse("mttf=3,mttr=0.5,timeout=0.4,retries=10").unwrap();
+        let report = fault_drift(&config, faults, 600, 91).unwrap();
+        assert!(report.fault_stats.crashes > 0, "{:?}", report.fault_stats);
+        assert_eq!(report.healthy_completed, 600);
+        let rows = report.drift_rows();
+        assert_eq!(rows.len(), report.healthy.rows.len(), "every metric paired");
+        for r in &rows {
+            assert!(
+                (r.faulty_variation - r.healthy_variation - r.drift).abs() < 1e-9,
+                "drift arithmetic broken for {}/{}",
+                r.subsystem,
+                r.metric
+            );
+        }
+        assert!(report.latency_drift().is_some());
+        let text = report.render();
+        assert!(text.contains("Drift") && text.contains("crashes"), "{text}");
+    }
+
+    #[test]
+    fn fault_drift_is_deterministic() {
+        let mut config = ClusterConfig::cluster(3);
+        config.workload = WorkloadMix::mixed();
+        config.workload.mean_interarrival_secs = 0.1;
+        let faults = kooza_gfs::FaultSpec::parse("mttf=4,mttr=0.5").unwrap();
+        let a = fault_drift(&config, faults, 400, 93).unwrap();
+        let b = fault_drift(&config, faults, 400, 93).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

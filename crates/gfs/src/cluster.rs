@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use kooza_sim::rng::Rng64;
-use kooza_sim::{Engine, ServerPool, SimDuration, SimTime, Tally};
+use kooza_sim::{Engine, ServerPool, SimDuration, SimTime, Tally, TimerHandle};
 use kooza_stats::dist::{DiscreteDistribution, Distribution, Exponential, Zipf};
 use kooza_trace::record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
 use kooza_trace::span::{Span, SpanCollector, SpanId, TraceId};
@@ -22,8 +22,16 @@ use kooza_trace::view::{ShardedTrace, TraceView};
 use kooza_trace::TraceSet;
 
 use crate::config::ClusterConfig;
+use crate::fault::{FaultPlan, FaultSpec};
 use crate::hardware::{CpuModel, DiskModel, LinkModel, MemoryModel};
 use crate::master::{ChunkHandle, Master, LBNS_PER_CHUNK};
+
+/// Request ids at or above this mark are background re-replication jobs,
+/// not client requests (client ids are issued sequentially from 0).
+const REREP_BASE: u64 = 1 << 63;
+
+/// Bytes moved per re-replication: one full 64 MB chunk.
+const REREP_BYTES: u64 = 64 * 1024 * 1024;
 
 /// What kind of request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,12 +67,44 @@ pub struct RequestOutcome {
     pub cpu_busy_nanos: u64,
     /// Whether the buffer cache absorbed the read.
     pub cache_hit: bool,
+    /// Retry attempts the client made beyond the first.
+    pub retries: u32,
+    /// Whether the request rode through a fault: it retried or its disk
+    /// I/O ran inside a degraded (post-recovery) window.
+    pub faulted: bool,
+    /// Whether the client abandoned the request after exhausting retries.
+    pub failed: bool,
+}
+
+/// Fault-path counters for one run; all zeros when faults are disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Chunkserver crash events delivered.
+    pub crashes: u64,
+    /// Chunkserver recovery events delivered.
+    pub recoveries: u64,
+    /// Client retry attempts issued.
+    pub retries: u64,
+    /// Attempt timeouts that fired.
+    pub timeouts: u64,
+    /// Retries that switched to a different chunkserver.
+    pub failovers: u64,
+    /// Client packets lost to link drops.
+    pub link_drops: u64,
+    /// Replica placements repaired (master-driven plus write-triggered).
+    pub rereplications: u64,
+    /// Requests abandoned after exhausting retries.
+    pub requests_failed: u64,
+    /// In-service and queued station jobs destroyed by crashes.
+    pub jobs_lost: u64,
+    /// Completed requests that retried or touched a degraded disk.
+    pub degraded_requests: u64,
 }
 
 /// Aggregate simulation statistics.
 #[derive(Debug, Clone)]
 pub struct ClusterStats {
-    /// Requests completed.
+    /// Requests completed (excludes requests that failed under faults).
     pub completed: u64,
     /// Latency distribution (seconds).
     pub latency_secs: Tally,
@@ -93,6 +133,9 @@ pub struct ClusterStats {
     /// Deepest any of a chunkserver's station queues (CPU, disk, net in,
     /// net out) ever got, per server.
     pub queue_high_water_per_server: Vec<u64>,
+    /// Fault-path counters (all zeros when `ClusterConfig::faults` is
+    /// `None`).
+    pub faults: FaultStats,
 }
 
 impl ClusterStats {
@@ -158,6 +201,27 @@ struct ReqState {
     phases: Vec<(&'static str, SimTime, SimTime)>,
     /// Start of the phase currently in progress.
     phase_started: SimTime,
+    /// Current attempt number; events from older attempts are stale.
+    attempt: u32,
+    /// Retries issued so far (`attempt` minus abandoned no-target spins).
+    retries: u32,
+    /// The live attempt's timeout timer, if faults are armed.
+    timeout: Option<TimerHandle>,
+    /// Whether any of the request's disk I/O ran on a degraded disk.
+    degraded: bool,
+    /// Write-triggered re-replications riding on this write:
+    /// `(dead_replica, stand_in)` pairs awaiting the stand-in's disk ack.
+    replacements: Vec<(usize, usize)>,
+}
+
+/// One in-flight background re-replication: disk read at `from`, network
+/// transfer to `to`, disk write at `to`, then the placement commit.
+#[derive(Debug, Clone, Copy)]
+struct RerepJob {
+    chunk: ChunkHandle,
+    dead: usize,
+    from: usize,
+    to: usize,
 }
 
 /// Per-chunkserver resources.
@@ -167,16 +231,21 @@ struct ReqState {
 /// (tracing overhead included), disk jobs carry `(lbn, size)` so the
 /// seek reflects the head position at start, network jobs carry the wire
 /// size.
+/// Completion events carry the attempt that issued the job and the
+/// server's crash epoch at scheduling time. A mismatched epoch means a
+/// crash already drained the station (skip entirely); a matched epoch but
+/// stale attempt means the client gave up on that attempt (do the pool
+/// bookkeeping, skip request progression).
 #[derive(Debug)]
 struct Server {
-    /// (request, stage, busy time)
-    cpu_pool: ServerPool<(u64, u8, SimDuration)>,
-    /// (request, lbn, size, replica?)
-    disk_pool: ServerPool<(u64, u64, u64, bool)>,
-    /// (request, wire bytes, replica?)
-    net_in_pool: ServerPool<(u64, u64, bool)>,
-    /// (request, wire bytes)
-    net_out_pool: ServerPool<(u64, u64)>,
+    /// (request, stage, busy time, attempt)
+    cpu_pool: ServerPool<(u64, u8, SimDuration, u32)>,
+    /// (request, lbn, size, replica?, attempt)
+    disk_pool: ServerPool<(u64, u64, u64, bool, u32)>,
+    /// (request, wire bytes, replica?, attempt)
+    net_in_pool: ServerPool<(u64, u64, bool, u32)>,
+    /// (request, wire bytes, attempt)
+    net_out_pool: ServerPool<(u64, u64, u32)>,
     disk: DiskModel,
     memory: MemoryModel,
     cpu: CpuModel,
@@ -190,22 +259,30 @@ impl Server {
         engine: &mut Engine<Ev>,
         now: SimTime,
         server: usize,
-        job: (u64, u8, SimDuration),
+        epoch: u32,
+        job: (u64, u8, SimDuration, u32),
     ) {
-        if let Some((id, stage, busy)) = self.cpu_pool.arrive(now, job) {
-            engine.schedule(busy, Ev::CpuDone { id, server, stage });
+        if let Some((id, stage, busy, attempt)) = self.cpu_pool.arrive(now, job) {
+            engine.schedule(busy, Ev::CpuDone { id, server, stage, attempt, epoch });
         }
     }
 
     /// Starts a disk job (computing the seek now) and schedules completion.
+    /// `slowdown` > 1 stretches the service time (degraded disk); the
+    /// exact-1.0 guard keeps the healthy path free of float round-trips.
     fn start_disk(
         &mut self,
         engine: &mut Engine<Ev>,
         server: usize,
-        (id, lbn, size, replica): (u64, u64, u64, bool),
+        epoch: u32,
+        slowdown: f64,
+        (id, lbn, size, replica, attempt): (u64, u64, u64, bool, u32),
     ) {
-        let service = self.disk.access(lbn, size);
-        engine.schedule(service, Ev::DiskDone { id, server, replica });
+        let mut service = self.disk.access(lbn, size);
+        if slowdown > 1.0 {
+            service = SimDuration::from_secs_f64(service.as_secs_f64() * slowdown);
+        }
+        engine.schedule(service, Ev::DiskDone { id, server, replica, attempt, epoch });
     }
 
     /// Offers a disk job; starts it if the disk is idle.
@@ -214,10 +291,12 @@ impl Server {
         engine: &mut Engine<Ev>,
         now: SimTime,
         server: usize,
-        job: (u64, u64, u64, bool),
+        epoch: u32,
+        slowdown: f64,
+        job: (u64, u64, u64, bool, u32),
     ) {
         if let Some(started) = self.disk_pool.arrive(now, job) {
-            self.start_disk(engine, server, started);
+            self.start_disk(engine, server, epoch, slowdown, started);
         }
     }
 
@@ -227,11 +306,12 @@ impl Server {
         engine: &mut Engine<Ev>,
         now: SimTime,
         server: usize,
-        job: (u64, u64, bool),
+        epoch: u32,
+        job: (u64, u64, bool, u32),
     ) {
-        if let Some((id, wire, replica)) = self.net_in_pool.arrive(now, job) {
+        if let Some((id, wire, replica, attempt)) = self.net_in_pool.arrive(now, job) {
             let service = self.link.transfer(wire);
-            engine.schedule(service, Ev::NetInDone { id, server, replica });
+            engine.schedule(service, Ev::NetInDone { id, server, replica, attempt, epoch });
         }
     }
 
@@ -241,11 +321,12 @@ impl Server {
         engine: &mut Engine<Ev>,
         now: SimTime,
         server: usize,
-        job: (u64, u64),
+        epoch: u32,
+        job: (u64, u64, u32),
     ) {
-        if let Some((id, wire)) = self.net_out_pool.arrive(now, job) {
+        if let Some((id, wire, attempt)) = self.net_out_pool.arrive(now, job) {
             let service = self.link.transfer(wire);
-            engine.schedule(service, Ev::NetOutDone { id, server });
+            engine.schedule(service, Ev::NetOutDone { id, server, attempt, epoch });
         }
     }
 }
@@ -255,17 +336,25 @@ enum Ev {
     /// Generator tick: issue request `id`.
     NewRequest { id: u64 },
     /// Ingress transfer done (`replica` marks replication traffic).
-    NetInDone { id: u64, server: usize, replica: bool },
+    NetInDone { id: u64, server: usize, replica: bool, attempt: u32, epoch: u32 },
     /// CPU phase done (`stage` 1 = lookup, 2 = aggregate).
-    CpuDone { id: u64, server: usize, stage: u8 },
+    CpuDone { id: u64, server: usize, stage: u8, attempt: u32, epoch: u32 },
     /// Memory access done.
-    MemDone { id: u64, server: usize },
+    MemDone { id: u64, server: usize, attempt: u32, epoch: u32 },
     /// Disk access done (`replica` marks replica writes).
-    DiskDone { id: u64, server: usize, replica: bool },
+    DiskDone { id: u64, server: usize, replica: bool, attempt: u32, epoch: u32 },
     /// Egress transfer done; request complete.
-    NetOutDone { id: u64, server: usize },
+    NetOutDone { id: u64, server: usize, attempt: u32, epoch: u32 },
     /// Master location lookup finished for this request.
     MasterDone { id: u64 },
+    /// A chunkserver goes down (pre-scheduled from the fault plan).
+    Crash { server: usize },
+    /// A crashed chunkserver comes back up.
+    Recover { server: usize },
+    /// A client attempt's timeout fired; retry or abandon.
+    RequestTimeout { id: u64, attempt: u32 },
+    /// The master repairs a chunk that lost `dead`'s replica.
+    Rereplicate { chunk: ChunkHandle, dead: usize },
 }
 
 /// The cluster simulator.
@@ -380,8 +469,40 @@ impl Cluster {
         let mut latency = Tally::new();
         let mut tracing_busy = SimDuration::ZERO;
         let mut total_cpu_busy = SimDuration::ZERO;
+        // Re-replication rewrites placements during the run; mutate a local
+        // copy so `run` stays idempotent on the cluster.
+        let mut master = self.master.clone();
+        let fault_spec = self.config.faults;
+        let plan = fault_spec.map(|f| {
+            // The fault horizon derives only from the run parameters —
+            // never from elapsed wall time or event counts — so the plan
+            // is identical at any thread count. Twice the expected
+            // workload span plus slack covers retry-stretched tails.
+            let horizon = SimDuration::from_secs_f64(
+                n_requests as f64 * cfg.workload.mean_interarrival_secs * 2.0 + 120.0,
+            );
+            FaultPlan::generate(&f, cfg.n_chunkservers, horizon)
+        });
+        // Fault-path randomness (retry targets, link drops) lives on its
+        // own stream keyed by the trial seed: the workload stream stays
+        // byte-identical whether or not faults are armed.
+        let mut fault_rng = fault_spec.map(|f| Rng64::for_stream(f.seed, seed));
+        let mut alive = vec![true; cfg.n_chunkservers];
+        let mut epochs = vec![0u32; cfg.n_chunkservers];
+        let mut fstats = FaultStats::default();
+        let mut rerep_jobs: HashMap<u64, RerepJob> = HashMap::new();
+        let mut rerep_seq: u64 = 0;
+        let mut finished: u64 = 0;
         let rng = &mut self.rng;
 
+        if let Some(p) = &plan {
+            for s in 0..cfg.n_chunkservers {
+                for w in p.windows(s) {
+                    engine.schedule_at(w.down, Ev::Crash { server: s });
+                    engine.schedule_at(w.up, Ev::Recover { server: s });
+                }
+            }
+        }
         if n_requests > 0 {
             engine.schedule(
                 SimDuration::from_secs_f64(gap.sample(rng)),
@@ -408,16 +529,41 @@ impl Cluster {
                         Kind::Write => cfg.workload.write_size,
                     };
                     let chunk = ChunkHandle(zipf.sample(rng) - 1);
-                    let server = match kind {
-                        Kind::Read => self.master.read_target(chunk, rng),
-                        Kind::Write => self.master.primary(chunk),
+                    // With faults armed, only live replicas are candidate
+                    // targets; `None` means every replica is down right now
+                    // and the attempt waits for its timeout to retry.
+                    let target: Option<usize> = match kind {
+                        Kind::Read => {
+                            if plan.is_none() {
+                                Some(master.read_target(chunk, rng))
+                            } else {
+                                let live: Vec<usize> = master
+                                    .replicas(chunk)
+                                    .iter()
+                                    .copied()
+                                    .filter(|&s| alive[s])
+                                    .collect();
+                                if live.is_empty() {
+                                    None
+                                } else {
+                                    Some(*rng.choose(&live))
+                                }
+                            }
+                        }
+                        Kind::Write => {
+                            if plan.is_none() {
+                                Some(master.primary(chunk))
+                            } else {
+                                // First live replica acts as primary.
+                                master.replicas(chunk).iter().copied().find(|&s| alive[s])
+                            }
+                        }
                     };
                     // Offset within the chunk, 512 B aligned, leaving room
                     // for the access itself.
                     let blocks = size.div_ceil(512).max(1);
                     let span_lbns = LBNS_PER_CHUNK.saturating_sub(blocks).max(1);
-                    let lbn = self.master.chunk_base_lbn(chunk) + rng.next_bounded(span_lbns);
-                    server_of[id as usize] = server;
+                    let lbn = master.chunk_base_lbn(chunk) + rng.next_bounded(span_lbns);
                     let sampled = collector.should_record(TraceId(id));
                     let mem_size = match kind {
                         // Metadata plus a slice of the buffer: the request's
@@ -434,7 +580,7 @@ impl Cluster {
                             size,
                             mem_size,
                             chunk,
-                            server,
+                            server: target.unwrap_or(0),
                             start: now,
                             lbn,
                             sampled,
@@ -443,16 +589,13 @@ impl Cluster {
                             pending_replicas: 0,
                             phases: Vec::new(),
                             phase_started: now,
+                            attempt: 0,
+                            retries: 0,
+                            timeout: None,
+                            degraded: false,
+                            replacements: Vec::new(),
                         },
                     );
-                    // Ingress: a small header for reads, the payload for
-                    // writes. The record carries the wire size — the
-                    // payload a read moves shows up on egress, so recording
-                    // the payload here would double-count it in replay.
-                    let wire = match kind {
-                        Kind::Read => 1024,
-                        Kind::Write => size,
-                    };
                     // Metadata path: consult the master unless the client's
                     // location cache already knows the chunk.
                     let client = (id % cfg.n_clients as u64) as usize;
@@ -468,26 +611,52 @@ impl Cluster {
                             false
                         }
                     };
-                    if cached {
-                        let rec = NetworkRecord {
-                            ts_nanos: now.as_nanos(),
-                            size: wire,
-                            direction: Direction::Ingress,
-                            request_id: id,
-                        };
-                        trace.network.push(rec);
-                        servers[server].offer_net_in(&mut engine, now, server, (id, wire, false));
-                    } else if let Some((job, service)) =
-                        master_pool.arrive(now, (id, master_service))
-                    {
-                        engine.schedule(service, Ev::MasterDone { id: job });
+                    let st = states.get_mut(&id).expect("just inserted");
+                    // A request with no reachable replica (`target` None)
+                    // skips the master path: there is nothing to look up a
+                    // location for, it just waits on its retry timer.
+                    if cached || target.is_none() {
+                        Self::send_attempt(
+                            &mut engine,
+                            &mut servers,
+                            &mut trace,
+                            &mut server_of,
+                            st,
+                            id,
+                            now,
+                            target,
+                            &fault_spec,
+                            &mut fault_rng,
+                            &alive,
+                            &epochs,
+                            &mut fstats,
+                        );
+                    } else {
+                        // Arm the attempt timer over the master wait too.
+                        if let Some(f) = &fault_spec {
+                            st.timeout = Some(engine.schedule_cancellable(
+                                f.timeout_for_attempt(0),
+                                Ev::RequestTimeout { id, attempt: 0 },
+                            ));
+                        }
+                        if let Some((job, service)) =
+                            master_pool.arrive(now, (id, master_service))
+                        {
+                            engine.schedule(service, Ev::MasterDone { id: job });
+                        }
                     }
                 }
                 Ev::MasterDone { id } => {
                     if let Some((job, service)) = master_pool.complete(now) {
                         engine.schedule(service, Ev::MasterDone { id: job });
                     }
-                    let st = states.get_mut(&id).expect("live request");
+                    // The request may have failed or moved on to a retry
+                    // while the lookup was queued; the pool bookkeeping
+                    // above still had to happen.
+                    let Some(st) = states.get_mut(&id) else { continue };
+                    if st.attempt != 0 {
+                        continue;
+                    }
                     st.phases.push(("master.lookup", st.phase_started, now));
                     st.phase_started = now;
                     // Cache the location for this client (LRU).
@@ -497,39 +666,76 @@ impl Cluster {
                     while cache.len() > cfg.client_metadata_cache.max(1) {
                         cache.pop_front();
                     }
-                    let server = st.server;
-                    let wire = match st.kind {
-                        Kind::Read => 1024,
-                        Kind::Write => st.size,
-                    };
-                    let rec = NetworkRecord {
-                        ts_nanos: now.as_nanos(),
-                        size: wire,
-                        direction: Direction::Ingress,
-                        request_id: id,
-                    };
-                    trace.network.push(rec);
-                    servers[server].offer_net_in(&mut engine, now, server, (id, wire, false));
+                    let target = Some(st.server);
+                    Self::send_attempt(
+                        &mut engine,
+                        &mut servers,
+                        &mut trace,
+                        &mut server_of,
+                        st,
+                        id,
+                        now,
+                        target,
+                        &fault_spec,
+                        &mut fault_rng,
+                        &alive,
+                        &epochs,
+                        &mut fstats,
+                    );
                 }
-                Ev::NetInDone { id, server, replica } => {
+                Ev::NetInDone { id, server, replica, attempt, epoch } => {
+                    if epoch != epochs[server] {
+                        continue; // a crash drained this station
+                    }
                     // Free the NIC; start the next queued ingress.
-                    if let Some((job, wire, is_rep)) = servers[server].net_in_pool.complete(now) {
+                    if let Some((job, wire, is_rep, job_attempt)) =
+                        servers[server].net_in_pool.complete(now)
+                    {
                         let service = servers[server].link.transfer(wire);
                         engine.schedule(
                             service,
-                            Ev::NetInDone { id: job, server, replica: is_rep },
+                            Ev::NetInDone { id: job, server, replica: is_rep, attempt: job_attempt, epoch },
                         );
+                    }
+                    if id >= REREP_BASE {
+                        // The chunk copy landed on its new home: write it
+                        // out. A missing job means a crash aborted it.
+                        if let Some(job) = rerep_jobs.get(&id) {
+                            let lbn = master.chunk_base_lbn(job.chunk);
+                            let slow = Self::disk_slowdown(&plan, server, now);
+                            servers[server].offer_disk(
+                                &mut engine,
+                                now,
+                                server,
+                                epochs[server],
+                                slow,
+                                (id, lbn, REREP_BYTES, true, 0),
+                            );
+                        }
+                        continue;
                     }
                     if replica {
                         // Replica data landed: write it to the replica disk.
-                        let (lbn, size) = {
-                            let st = &states[&id];
-                            (st.lbn, st.size)
-                        };
-                        servers[server].offer_disk(&mut engine, now, server, (id, lbn, size, true));
+                        let Some(st) = states.get(&id) else { continue };
+                        if st.attempt != attempt {
+                            continue;
+                        }
+                        let (lbn, size) = (st.lbn, st.size);
+                        let slow = Self::disk_slowdown(&plan, server, now);
+                        servers[server].offer_disk(
+                            &mut engine,
+                            now,
+                            server,
+                            epochs[server],
+                            slow,
+                            (id, lbn, size, true, attempt),
+                        );
                         continue;
                     }
-                    let st = states.get_mut(&id).expect("live request");
+                    let Some(st) = states.get_mut(&id) else { continue };
+                    if st.attempt != attempt {
+                        continue;
+                    }
                     st.phases.push(("network.in", st.phase_started, now));
                     st.phase_started = now;
                     // CPU stage 1: lookup/verify over the request header.
@@ -540,14 +746,25 @@ impl Cluster {
                     }
                     st.cpu_busy += busy;
                     total_cpu_busy += busy;
-                    servers[server].offer_cpu(&mut engine, now, server, (id, 1, busy));
+                    servers[server].offer_cpu(&mut engine, now, server, epochs[server], (id, 1, busy, attempt));
                 }
-                Ev::CpuDone { id, server, stage } => {
-                    if let Some((job, next_stage, busy)) = servers[server].cpu_pool.complete(now) {
-                        engine.schedule(busy, Ev::CpuDone { id: job, server, stage: next_stage });
+                Ev::CpuDone { id, server, stage, attempt, epoch } => {
+                    if epoch != epochs[server] {
+                        continue;
+                    }
+                    if let Some((job, next_stage, busy, job_attempt)) =
+                        servers[server].cpu_pool.complete(now)
+                    {
+                        engine.schedule(
+                            busy,
+                            Ev::CpuDone { id: job, server, stage: next_stage, attempt: job_attempt, epoch },
+                        );
+                    }
+                    let Some(st) = states.get_mut(&id) else { continue };
+                    if st.attempt != attempt {
+                        continue;
                     }
                     if stage == 1 {
-                        let st = states.get_mut(&id).expect("live request");
                         st.phases.push(("cpu.lookup", st.phase_started, now));
                         st.phase_started = now;
                         // Memory access (buffer cache + bank traffic).
@@ -566,10 +783,9 @@ impl Cluster {
                             request_id: id,
                         };
                         trace.memory.push(rec);
-                        engine.schedule(service, Ev::MemDone { id, server });
+                        engine.schedule(service, Ev::MemDone { id, server, attempt, epoch });
                     } else {
                         // Aggregation done → respond over the network.
-                        let st = states.get_mut(&id).expect("live request");
                         st.phases.push(("cpu.aggregate", st.phase_started, now));
                         st.phase_started = now;
                         let wire = match st.kind {
@@ -583,11 +799,17 @@ impl Cluster {
                             request_id: id,
                         };
                         trace.network.push(rec);
-                        servers[server].offer_net_out(&mut engine, now, server, (id, wire));
+                        servers[server].offer_net_out(&mut engine, now, server, epochs[server], (id, wire, attempt));
                     }
                 }
-                Ev::MemDone { id, server } => {
-                    let st = states.get_mut(&id).expect("live request");
+                Ev::MemDone { id, server, attempt, epoch } => {
+                    if epoch != epochs[server] {
+                        continue;
+                    }
+                    let Some(st) = states.get_mut(&id) else { continue };
+                    if st.attempt != attempt {
+                        continue;
+                    }
                     st.phases.push(("memory", st.phase_started, now));
                     st.phase_started = now;
                     if st.kind == Kind::Read && st.cache_hit {
@@ -599,6 +821,7 @@ impl Cluster {
                             id,
                             server,
                             now,
+                            epochs[server],
                             trace_overhead,
                             &mut tracing_busy,
                             &mut total_cpu_busy,
@@ -617,49 +840,146 @@ impl Cluster {
                         };
                         trace.storage.push(rec);
                         let (lbn, size) = (st.lbn, st.size);
-                        servers[server].offer_disk(&mut engine, now, server, (id, lbn, size, false));
+                        let slow = Self::disk_slowdown(&plan, server, now);
+                        if slow > 1.0 {
+                            st.degraded = true;
+                        }
+                        servers[server].offer_disk(
+                            &mut engine,
+                            now,
+                            server,
+                            epochs[server],
+                            slow,
+                            (id, lbn, size, false, attempt),
+                        );
                     }
                 }
-                Ev::DiskDone { id, server, replica } => {
+                Ev::DiskDone { id, server, replica, attempt, epoch } => {
+                    if epoch != epochs[server] {
+                        continue;
+                    }
                     if let Some(job) = servers[server].disk_pool.complete(now) {
-                        servers[server].start_disk(&mut engine, server, job);
+                        let slow = Self::disk_slowdown(&plan, server, now);
+                        servers[server].start_disk(&mut engine, server, epochs[server], slow, job);
+                    }
+                    if id >= REREP_BASE {
+                        if !replica {
+                            // Source read done: ship the chunk to its new
+                            // home over that server's ingress link.
+                            if let Some(job) = rerep_jobs.get(&id) {
+                                let to = job.to;
+                                servers[to].offer_net_in(
+                                    &mut engine,
+                                    now,
+                                    to,
+                                    epochs[to],
+                                    (id, REREP_BYTES, true, 0),
+                                );
+                            }
+                        } else if let Some(job) = rerep_jobs.remove(&id) {
+                            // Replacement copy is durable: commit it.
+                            master.replace_replica(job.chunk, job.dead, job.to);
+                            fstats.rereplications += 1;
+                        }
+                        continue;
                     }
                     if replica {
-                        let st = states.get_mut(&id).expect("live request");
+                        let Some(st) = states.get_mut(&id) else { continue };
+                        if st.attempt != attempt {
+                            continue;
+                        }
                         st.pending_replicas -= 1;
+                        // Write-triggered re-replication: this ack may come
+                        // from a stand-in for a dead replica — commit the
+                        // placement change before (possibly) acking.
+                        if let Some(pos) =
+                            st.replacements.iter().position(|&(_, stand_in)| stand_in == server)
+                        {
+                            let (dead, stand_in) = st.replacements.remove(pos);
+                            master.replace_replica(st.chunk, dead, stand_in);
+                            fstats.rereplications += 1;
+                        }
                         if st.pending_replicas == 0 {
                             let primary = st.server;
                             st.phases.push(("replicate", st.phase_started, now));
                             st.phase_started = now;
-                            Self::schedule_cpu_aggregate(
-                                &mut engine,
-                                &mut servers[primary],
-                                st,
-                                id,
-                                primary,
-                                now,
-                                trace_overhead,
-                                &mut tracing_busy,
-                                &mut total_cpu_busy,
-                            );
+                            // The primary may have died while the replicas
+                            // acked; if so the client's timeout retries.
+                            if alive[primary] {
+                                Self::schedule_cpu_aggregate(
+                                    &mut engine,
+                                    &mut servers[primary],
+                                    st,
+                                    id,
+                                    primary,
+                                    now,
+                                    epochs[primary],
+                                    trace_overhead,
+                                    &mut tracing_busy,
+                                    &mut total_cpu_busy,
+                                );
+                            }
                         }
                         continue;
                     }
-                    let st = states.get_mut(&id).expect("live request");
+                    let Some(st) = states.get_mut(&id) else { continue };
+                    if st.attempt != attempt {
+                        continue;
+                    }
                     st.phases.push(("disk", st.phase_started, now));
                     st.phase_started = now;
-                    let replicas: Vec<usize> = self
-                        .master
+                    let replicas: Vec<usize> = master
                         .replicas(st.chunk)
                         .iter()
                         .copied()
                         .filter(|&s| s != server)
                         .collect();
                     if st.kind == Kind::Write && !replicas.is_empty() {
-                        st.pending_replicas = replicas.len();
-                        let size = st.size;
-                        for rep in replicas {
-                            servers[rep].offer_net_in(&mut engine, now, rep, (id, size, true));
+                        let mut fanout: Vec<usize> =
+                            replicas.iter().copied().filter(|&s| alive[s]).collect();
+                        if plan.is_some() {
+                            // Each dead secondary gets a live stand-in so
+                            // the write re-acks at full replication.
+                            for &dead in replicas.iter().filter(|&&s| !alive[s]) {
+                                let stand_in = (0..cfg.n_chunkservers).find(|&s| {
+                                    alive[s]
+                                        && s != server
+                                        && !master.replicas(st.chunk).contains(&s)
+                                        && !fanout.contains(&s)
+                                });
+                                if let Some(stand_in) = stand_in {
+                                    st.replacements.push((dead, stand_in));
+                                    fanout.push(stand_in);
+                                }
+                            }
+                        }
+                        if fanout.is_empty() {
+                            // No secondary is reachable and no stand-in
+                            // exists: acknowledge the degraded write.
+                            Self::schedule_cpu_aggregate(
+                                &mut engine,
+                                &mut servers[server],
+                                st,
+                                id,
+                                server,
+                                now,
+                                epochs[server],
+                                trace_overhead,
+                                &mut tracing_busy,
+                                &mut total_cpu_busy,
+                            );
+                        } else {
+                            st.pending_replicas = fanout.len();
+                            let size = st.size;
+                            for rep in fanout {
+                                servers[rep].offer_net_in(
+                                    &mut engine,
+                                    now,
+                                    rep,
+                                    epochs[rep],
+                                    (id, size, true, attempt),
+                                );
+                            }
                         }
                     } else {
                         Self::schedule_cpu_aggregate(
@@ -669,18 +989,33 @@ impl Cluster {
                             id,
                             server,
                             now,
+                            epochs[server],
                             trace_overhead,
                             &mut tracing_busy,
                             &mut total_cpu_busy,
                         );
                     }
                 }
-                Ev::NetOutDone { id, server } => {
-                    if let Some((job, wire)) = servers[server].net_out_pool.complete(now) {
-                        let service = servers[server].link.transfer(wire);
-                        engine.schedule(service, Ev::NetOutDone { id: job, server });
+                Ev::NetOutDone { id, server, attempt, epoch } => {
+                    if epoch != epochs[server] {
+                        continue;
                     }
-                    let mut st = states.remove(&id).expect("live request");
+                    if let Some((job, wire, job_attempt)) = servers[server].net_out_pool.complete(now) {
+                        let service = servers[server].link.transfer(wire);
+                        engine.schedule(
+                            service,
+                            Ev::NetOutDone { id: job, server, attempt: job_attempt, epoch },
+                        );
+                    }
+                    match states.get(&id) {
+                        Some(st) if st.attempt == attempt => {}
+                        _ => continue, // a stale attempt's zombie response
+                    }
+                    let mut st = states.remove(&id).expect("present above");
+                    if let Some(handle) = st.timeout.take() {
+                        engine.cancel(handle);
+                    }
+                    finished += 1;
                     st.phases.push(("network.out", st.phase_started, now));
                     let total = now - st.start;
                     latency.record(total.as_secs_f64());
@@ -699,6 +1034,9 @@ impl Cluster {
                         sampled: st.sampled,
                         cpu_busy_nanos: st.cpu_busy.as_nanos(),
                         cache_hit: st.cache_hit,
+                        retries: st.retries,
+                        faulted: st.retries > 0 || st.degraded,
+                        failed: false,
                     });
                     if st.sampled {
                         let tid = TraceId(id);
@@ -724,6 +1062,164 @@ impl Cluster {
                         }
                     }
                 }
+                Ev::Crash { server } => {
+                    alive[server] = false;
+                    epochs[server] += 1;
+                    let s = &mut servers[server];
+                    let lost = s.cpu_pool.fail_all(now)
+                        + s.disk_pool.fail_all(now)
+                        + s.net_in_pool.fail_all(now)
+                        + s.net_out_pool.fail_all(now);
+                    fstats.jobs_lost += lost as u64;
+                    fstats.crashes += 1;
+                    // In-flight re-replications touching the dead server
+                    // are lost with it.
+                    rerep_jobs.retain(|_, j| j.from != server && j.to != server);
+                    // The master notices after its detection delay and
+                    // repairs a batch of the under-replicated chunks.
+                    if let Some(f) = &fault_spec {
+                        let detect = SimDuration::from_secs_f64(f.detect_secs);
+                        for chunk in
+                            master.chunks_on(server).into_iter().take(f.rereplicate_batch)
+                        {
+                            engine.schedule(detect, Ev::Rereplicate { chunk, dead: server });
+                        }
+                    }
+                }
+                Ev::Recover { server } => {
+                    alive[server] = true;
+                    let s = &mut servers[server];
+                    s.cpu_pool.set_up();
+                    s.disk_pool.set_up();
+                    s.net_in_pool.set_up();
+                    s.net_out_pool.set_up();
+                    fstats.recoveries += 1;
+                }
+                Ev::Rereplicate { chunk, dead } => {
+                    // Source and target resolve at fire time: the cluster
+                    // may have changed since the crash was detected.
+                    if alive[dead] {
+                        continue; // recovered before detection finished
+                    }
+                    let reps = master.replicas(chunk);
+                    if !reps.contains(&dead) {
+                        continue; // a write-triggered repair already won
+                    }
+                    let Some(from) = reps.iter().copied().find(|&s| s != dead && alive[s])
+                    else {
+                        continue; // no live source holds the chunk
+                    };
+                    let Some(to) =
+                        (0..cfg.n_chunkservers).find(|&s| alive[s] && !reps.contains(&s))
+                    else {
+                        continue; // nowhere to put a new replica
+                    };
+                    let rid = REREP_BASE + rerep_seq;
+                    rerep_seq += 1;
+                    let lbn = master.chunk_base_lbn(chunk);
+                    rerep_jobs.insert(rid, RerepJob { chunk, dead, from, to });
+                    let slow = Self::disk_slowdown(&plan, from, now);
+                    servers[from].offer_disk(
+                        &mut engine,
+                        now,
+                        from,
+                        epochs[from],
+                        slow,
+                        (rid, lbn, REREP_BYTES, false, 0),
+                    );
+                }
+                Ev::RequestTimeout { id, attempt } => {
+                    let f = fault_spec.as_ref().expect("timeouts only exist under faults");
+                    let give_up = {
+                        let Some(st) = states.get_mut(&id) else { continue };
+                        if st.attempt != attempt {
+                            continue; // stale timer
+                        }
+                        st.timeout = None;
+                        st.retries >= f.max_retries
+                    };
+                    fstats.timeouts += 1;
+                    if give_up {
+                        let mut st = states.remove(&id).expect("present above");
+                        st.phases.push(("fault.abandon", st.phase_started, now));
+                        fstats.requests_failed += 1;
+                        finished += 1;
+                        let total = now - st.start;
+                        outcomes.push(RequestOutcome {
+                            id,
+                            is_read: st.kind == Kind::Read,
+                            size: st.size,
+                            latency_nanos: total.as_nanos(),
+                            sampled: st.sampled,
+                            cpu_busy_nanos: st.cpu_busy.as_nanos(),
+                            cache_hit: st.cache_hit,
+                            retries: st.retries,
+                            faulted: true,
+                            failed: true,
+                        });
+                        continue;
+                    }
+                    let st = states.get_mut(&id).expect("present above");
+                    st.retries += 1;
+                    st.attempt += 1;
+                    fstats.retries += 1;
+                    st.phases.push(("fault.retry", st.phase_started, now));
+                    st.phase_started = now;
+                    // Any in-flight work from the old attempt is now a
+                    // zombie: its completions carry a stale attempt.
+                    st.pending_replicas = 0;
+                    st.replacements.clear();
+                    let prev = st.server;
+                    // Failover: pick among the currently live replicas,
+                    // drawing from the fault stream so the workload stream
+                    // stays untouched.
+                    let target = match st.kind {
+                        Kind::Read => {
+                            let live: Vec<usize> = master
+                                .replicas(st.chunk)
+                                .iter()
+                                .copied()
+                                .filter(|&s| alive[s])
+                                .collect();
+                            if live.is_empty() {
+                                None
+                            } else {
+                                let frng = fault_rng.as_mut().expect("fault mode");
+                                Some(*frng.choose(&live))
+                            }
+                        }
+                        Kind::Write => {
+                            master.replicas(st.chunk).iter().copied().find(|&s| alive[s])
+                        }
+                    };
+                    if let Some(t) = target {
+                        if t != prev {
+                            fstats.failovers += 1;
+                        }
+                    }
+                    Self::send_attempt(
+                        &mut engine,
+                        &mut servers,
+                        &mut trace,
+                        &mut server_of,
+                        st,
+                        id,
+                        now,
+                        target,
+                        &fault_spec,
+                        &mut fault_rng,
+                        &alive,
+                        &epochs,
+                        &mut fstats,
+                    );
+                }
+            }
+            // With faults armed the heap still holds pre-scheduled
+            // crash/recover events long past the workload; stop once every
+            // request resolved and no repair is mid-flight. (The healthy
+            // path drains the heap exactly as before.)
+            if plan.is_some() && finished == n_requests && rerep_jobs.is_empty() {
+                break;
             }
         }
 
@@ -742,8 +1238,10 @@ impl Cluster {
                     .max(s.net_out_pool.queue_high_water()) as u64
             })
             .collect();
+        fstats.degraded_requests =
+            outcomes.iter().filter(|o| o.faulted && !o.failed).count() as u64;
         let stats = ClusterStats {
-            completed: outcomes.len() as u64,
+            completed: outcomes.iter().filter(|o| !o.failed).count() as u64,
             latency_secs: latency,
             makespan_secs: end.as_secs_f64(),
             cpu_utilization: servers.iter().map(|s| s.cpu_pool.utilization(end)).collect(),
@@ -761,6 +1259,7 @@ impl Cluster {
             pending_high_water: engine.pending_high_water() as u64,
             requests_per_server,
             queue_high_water_per_server,
+            faults: fstats,
         };
         self.publish_metrics(&stats, &outcomes);
         trace.spans = collector.spans().to_vec();
@@ -823,6 +1322,25 @@ impl Cluster {
             for &depth in &stats.queue_high_water_per_server {
                 queues.record(depth);
             }
+            // Fault counters only exist when faults are configured, so a
+            // healthy run's report stays byte-identical to before.
+            if self.config.faults.is_some() {
+                let f = &stats.faults;
+                reg.counter_add("gfs.fault.crashes", f.crashes);
+                reg.counter_add("gfs.fault.recoveries", f.recoveries);
+                reg.counter_add("gfs.fault.retries", f.retries);
+                reg.counter_add("gfs.fault.timeouts", f.timeouts);
+                reg.counter_add("gfs.fault.failovers", f.failovers);
+                reg.counter_add("gfs.fault.link_drops", f.link_drops);
+                reg.counter_add("gfs.fault.rereplications", f.rereplications);
+                reg.counter_add("gfs.fault.requests_failed", f.requests_failed);
+                reg.counter_add("gfs.fault.jobs_lost", f.jobs_lost);
+                let degraded =
+                    reg.histogram_mut("gfs.fault.degraded_latency_nanos", LATENCY_BOUNDS);
+                for outcome in outcomes.iter().filter(|o| o.faulted && !o.failed) {
+                    degraded.record(outcome.latency_nanos);
+                }
+            }
         });
     }
 
@@ -835,6 +1353,7 @@ impl Cluster {
         id: u64,
         server: usize,
         now: SimTime,
+        epoch: u32,
         trace_overhead: SimDuration,
         tracing_busy: &mut SimDuration,
         total_cpu_busy: &mut SimDuration,
@@ -846,7 +1365,80 @@ impl Cluster {
         }
         st.cpu_busy += busy;
         *total_cpu_busy += busy;
-        server_state.offer_cpu(engine, now, server, (id, 2, busy));
+        server_state.offer_cpu(engine, now, server, epoch, (id, 2, busy, st.attempt));
+    }
+
+    /// Disk service-time multiplier for a server right now (1 = healthy).
+    fn disk_slowdown(plan: &Option<FaultPlan>, server: usize, now: SimTime) -> f64 {
+        plan.as_ref().map_or(1.0, |p| p.disk_slowdown(server, now))
+    }
+
+    /// Dispatches one client attempt: records the ingress, offers the
+    /// transfer to the target's NIC (unless the link drops the packet or
+    /// no live target exists), and arms the attempt's timeout when faults
+    /// are on. The healthy path (`fault_spec` None, target always live)
+    /// reduces to exactly the record-and-offer it always did.
+    #[allow(clippy::too_many_arguments)]
+    fn send_attempt(
+        engine: &mut Engine<Ev>,
+        servers: &mut [Server],
+        trace: &mut TraceSet,
+        server_of: &mut [usize],
+        st: &mut ReqState,
+        id: u64,
+        now: SimTime,
+        target: Option<usize>,
+        fault_spec: &Option<FaultSpec>,
+        fault_rng: &mut Option<Rng64>,
+        alive: &[bool],
+        epochs: &[u32],
+        fstats: &mut FaultStats,
+    ) {
+        // The target may have crashed between selection and dispatch
+        // (master lookups take time); an unreachable target just leaves
+        // the timer to drive the retry.
+        let target = target.filter(|&s| alive[s]);
+        if let Some(server) = target {
+            st.server = server;
+            server_of[id as usize] = server;
+            // Ingress: a small header for reads, the payload for writes.
+            // The record carries the wire size — the payload a read moves
+            // shows up on egress, so recording the payload here would
+            // double-count it in replay.
+            let wire = match st.kind {
+                Kind::Read => 1024,
+                Kind::Write => st.size,
+            };
+            let dropped = match (fault_spec, fault_rng.as_mut()) {
+                (Some(f), Some(frng)) if f.link_drop > 0.0 => frng.chance(f.link_drop),
+                _ => false,
+            };
+            if dropped {
+                fstats.link_drops += 1;
+            } else {
+                trace.network.push(NetworkRecord {
+                    ts_nanos: now.as_nanos(),
+                    size: wire,
+                    direction: Direction::Ingress,
+                    request_id: id,
+                });
+                servers[server].offer_net_in(
+                    engine,
+                    now,
+                    server,
+                    epochs[server],
+                    (id, wire, false, st.attempt),
+                );
+            }
+        }
+        if let Some(f) = fault_spec {
+            if st.timeout.is_none() {
+                st.timeout = Some(engine.schedule_cancellable(
+                    f.timeout_for_attempt(st.attempt),
+                    Ev::RequestTimeout { id, attempt: st.attempt },
+                ));
+            }
+        }
     }
 }
 
@@ -1124,5 +1716,97 @@ mod tests {
         let out = run_small(WorkloadMix::mixed(), 0, 1);
         assert_eq!(out.stats.completed, 0);
         assert!(out.trace.is_empty());
+    }
+
+    use crate::fault::FaultSpec;
+
+    /// A 4-server cluster under a harsh fault regime: ~1.5 s MTTF per
+    /// server against a ~50 s workload guarantees crashes mid-run.
+    fn faulty_config(spec: &str) -> ClusterConfig {
+        let mut config = ClusterConfig::cluster(4);
+        config.workload = WorkloadMix::mixed();
+        config.workload.mean_interarrival_secs = 0.1;
+        config.faults = Some(FaultSpec::parse(spec).unwrap());
+        config
+    }
+
+    #[test]
+    fn faulty_run_resolves_every_request() {
+        let config = faulty_config("mttf=1.5,mttr=0.3,timeout=0.4,retries=10");
+        let out = Cluster::new(&config).unwrap().run(500, 21);
+        let f = &out.stats.faults;
+        assert!(f.crashes > 0, "no crashes in 50 s at 1.5 s MTTF: {f:?}");
+        assert_eq!(f.crashes, f.recoveries + (f.crashes - f.recoveries), "sanity");
+        assert!(f.retries > 0, "crashes but no retries: {f:?}");
+        // Every request resolved: completed or explicitly failed.
+        assert_eq!(out.stats.completed + f.requests_failed, 500);
+        assert_eq!(out.requests.len(), 500);
+        // Outcome flags agree with the counters.
+        let failed = out.requests.iter().filter(|r| r.failed).count() as u64;
+        assert_eq!(failed, f.requests_failed);
+        let retried = out.requests.iter().filter(|r| r.retries > 0).count();
+        assert!(retried > 0);
+        assert!(out.requests.iter().all(|r| !r.faulted || r.retries > 0 || !r.failed));
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let config = faulty_config("mttf=2,mttr=0.5,drop=0.02");
+        let a = Cluster::new(&config).unwrap().run(300, 9);
+        let b = Cluster::new(&config).unwrap().run(300, 9);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.stats.faults, b.stats.faults);
+        // A different fault seed shifts the fault pattern but not the
+        // request count.
+        let other = faulty_config("mttf=2,mttr=0.5,drop=0.02,seed=77");
+        let c = Cluster::new(&other).unwrap().run(300, 9);
+        assert_eq!(c.requests.len(), 300);
+        assert_ne!(a.stats.faults, c.stats.faults);
+    }
+
+    #[test]
+    fn crashes_trigger_rereplication() {
+        // Long down windows under a write workload: both the master-driven
+        // and the write-triggered repair paths get exercised.
+        let mut config = faulty_config("mttf=2,mttr=4,timeout=0.3,retries=12,detect=0.1");
+        config.workload.read_fraction = 0.0;
+        let out = Cluster::new(&config).unwrap().run(400, 13);
+        let f = &out.stats.faults;
+        assert!(f.crashes > 0, "{f:?}");
+        assert!(f.rereplications > 0, "no replicas repaired: {f:?}");
+        assert!(f.failovers > 0, "writes never failed over: {f:?}");
+    }
+
+    #[test]
+    fn requests_fail_when_every_replica_stays_down() {
+        // Nearly-permanent outages with a tiny retry budget: some requests
+        // must exhaust their retries and fail.
+        let config = faulty_config("mttf=0.5,mttr=60,timeout=0.2,retries=2,backoff=1");
+        let out = Cluster::new(&config).unwrap().run(300, 17);
+        let f = &out.stats.faults;
+        assert!(f.requests_failed > 0, "nothing failed: {f:?}");
+        assert!(out.stats.completed < 300);
+        for r in out.requests.iter().filter(|r| r.failed) {
+            assert_eq!(r.retries, 2, "failed before exhausting retries");
+            assert!(r.faulted);
+        }
+    }
+
+    #[test]
+    fn link_drops_are_survivable_and_counted() {
+        let config = faulty_config("mttf=1000,mttr=0.1,drop=0.1,timeout=0.3,retries=10");
+        let out = Cluster::new(&config).unwrap().run(400, 19);
+        let f = &out.stats.faults;
+        assert!(f.link_drops > 0, "10% drop over 400 requests: {f:?}");
+        assert!(f.timeouts >= f.link_drops, "every drop must time out: {f:?}");
+        assert_eq!(out.stats.completed + f.requests_failed, 400);
+    }
+
+    #[test]
+    fn disabled_faults_report_zero_fault_stats() {
+        let out = run_small(WorkloadMix::mixed(), 200, 23);
+        assert_eq!(out.stats.faults, FaultStats::default());
+        assert!(out.requests.iter().all(|r| !r.faulted && !r.failed && r.retries == 0));
     }
 }

@@ -17,6 +17,8 @@
 //!   LRU chunk buffer cache.
 //! * [`LinkModel`] — latency + bandwidth network links.
 //! * [`Master`] — chunk metadata, placement and replication.
+//! * [`FaultPlan`] — deterministic crash/recover schedules, degraded
+//!   disks and link drops (armed via `ClusterConfig::faults`).
 //! * [`Cluster`] — the simulation: clients issue a configurable workload
 //!   mix against chunkservers; every request is traced (subject to
 //!   sampling) into a [`kooza_trace::TraceSet`].
@@ -40,11 +42,13 @@
 
 mod cluster;
 mod config;
+mod fault;
 mod hardware;
 mod master;
 
-pub use cluster::{Cluster, ClusterOutcome, ClusterStats, RequestOutcome, Trial};
+pub use cluster::{Cluster, ClusterOutcome, ClusterStats, FaultStats, RequestOutcome, Trial};
 pub use config::{ClusterConfig, CpuParams, DiskParams, LinkParams, MemoryParams, WorkloadMix};
+pub use fault::{FaultPlan, FaultSpec, FaultWindow};
 pub use hardware::{CpuModel, DiskModel, LinkModel, MemoryModel};
 pub use master::{ChunkHandle, Master};
 

@@ -119,6 +119,40 @@ impl Master {
         *rng.choose(self.replicas(chunk))
     }
 
+    /// Chunks with a replica on `server`, in ascending chunk order — the
+    /// re-replication worklist after that server crashes.
+    pub fn chunks_on(&self, server: usize) -> Vec<ChunkHandle> {
+        self.placements
+            .iter()
+            .enumerate()
+            .filter(|(_, reps)| reps.contains(&server))
+            .map(|(c, _)| ChunkHandle(c as u64))
+            .collect()
+    }
+
+    /// Re-replication commit: replaces replica `old` with server `new` in
+    /// a chunk's placement, keeping the primary bookkeeping consistent.
+    /// A no-op if `old` no longer holds the chunk or `new` already does
+    /// (a concurrent re-replication won the race).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk or either server index is out of range.
+    pub fn replace_replica(&mut self, chunk: ChunkHandle, old: usize, new: usize) {
+        assert!(old < self.n_servers && new < self.n_servers, "server out of range");
+        let reps = &mut self.placements[chunk.0 as usize];
+        if reps.contains(&new) {
+            return;
+        }
+        if let Some(pos) = reps.iter().position(|&s| s == old) {
+            reps[pos] = new;
+            if pos == 0 {
+                self.primaries[old] -= 1;
+                self.primaries[new] += 1;
+            }
+        }
+    }
+
     /// The first LBN of a chunk on its server's disk.
     pub fn chunk_base_lbn(&self, chunk: ChunkHandle) -> u64 {
         // Chunks are laid out contiguously per server in placement order;
@@ -200,6 +234,42 @@ mod tests {
         bases.sort_unstable();
         bases.dedup();
         assert!(bases.len() > 90, "too many LBN collisions: {}", bases.len());
+    }
+
+    #[test]
+    fn chunks_on_lists_every_replica_holder() {
+        let mut rng = Rng64::new(1706);
+        let m = Master::place(200, 5, 3, &mut rng).unwrap();
+        for s in 0..5 {
+            let chunks = m.chunks_on(s);
+            assert!(chunks.windows(2).all(|w| w[0] < w[1]), "not ascending");
+            for &c in &chunks {
+                assert!(m.replicas(c).contains(&s));
+            }
+        }
+        let total: usize = (0..5).map(|s| m.chunks_on(s).len()).sum();
+        assert_eq!(total, 200 * 3, "every replica appears exactly once");
+    }
+
+    #[test]
+    fn replace_replica_moves_placement() {
+        let mut rng = Rng64::new(1707);
+        let mut m = Master::place(10, 4, 2, &mut rng).unwrap();
+        let chunk = ChunkHandle(0);
+        let old = m.replicas(chunk)[1];
+        let new = (0..4).find(|s| !m.replicas(chunk).contains(s)).unwrap();
+        m.replace_replica(chunk, old, new);
+        assert!(!m.replicas(chunk).contains(&old));
+        assert!(m.replicas(chunk).contains(&new));
+        // Repeating the same move is a no-op (old is gone).
+        let before = m.clone();
+        m.replace_replica(chunk, old, new);
+        assert_eq!(m, before);
+        // Replacing the primary updates the primary bookkeeping.
+        let primary = m.primary(chunk);
+        let target = (0..4).find(|s| !m.replicas(chunk).contains(s)).unwrap();
+        m.replace_replica(chunk, primary, target);
+        assert_eq!(m.primary(chunk), target);
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! The discrete-event engine: a monotone clock plus a stable priority queue.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::{SimDuration, SimTime};
+
+/// Handle to an event scheduled with [`Engine::schedule_cancellable`].
+///
+/// Pass it back to [`Engine::cancel`] to withdraw the event before it
+/// fires. Handles are cheap value types tied to one engine; a handle from
+/// another engine has undefined (but memory-safe) cancel semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle(u64);
 
 /// A scheduled event; ordered by time, then by insertion sequence so that
 /// simultaneous events fire in FIFO order (determinism).
@@ -54,6 +62,12 @@ pub struct Engine<E> {
     heap: BinaryHeap<Scheduled<E>>,
     processed: u64,
     pending_high_water: usize,
+    /// Sequence numbers of live cancellable events (inserted by
+    /// `schedule_cancellable`, removed on delivery or cancellation).
+    cancellable: HashSet<u64>,
+    /// Sequence numbers cancelled but still sitting in the heap; skipped
+    /// (and forgotten) by `next`.
+    cancelled: HashSet<u64>,
 }
 
 impl<E> std::fmt::Debug for Engine<E> {
@@ -81,6 +95,8 @@ impl<E> Engine<E> {
             heap: BinaryHeap::new(),
             processed: 0,
             pending_high_water: 0,
+            cancellable: HashSet::new(),
+            cancelled: HashSet::new(),
         }
     }
 
@@ -94,9 +110,10 @@ impl<E> Engine<E> {
         self.processed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (cancelled-but-not-yet-reaped
+    /// timers are not counted).
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
     /// The most events that were ever pending at once — how deep the
@@ -129,30 +146,67 @@ impl<E> Engine<E> {
         self.pending_high_water = self.pending_high_water.max(self.heap.len());
     }
 
+    /// Schedules `event` to fire `delay` after the current time and
+    /// returns a handle the caller can use to [`Engine::cancel`] it —
+    /// the primitive timeout timers are built on.
+    pub fn schedule_cancellable(&mut self, delay: SimDuration, event: E) -> TimerHandle {
+        let seq = self.seq;
+        self.schedule(delay, event);
+        self.cancellable.insert(seq);
+        TimerHandle(seq)
+    }
+
+    /// Cancels an event scheduled with [`Engine::schedule_cancellable`].
+    ///
+    /// Returns `true` if the event was still pending and is now withdrawn;
+    /// `false` if it already fired or was already cancelled. The entry is
+    /// lazily reaped from the queue, so cancellation is O(1).
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        if self.cancellable.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Pops the next event, advancing the clock to its timestamp.
     ///
-    /// Returns `None` when the queue is empty (simulation end).
+    /// Returns `None` when the queue is empty (simulation end). Cancelled
+    /// timers are skipped silently and do not count as processed.
     ///
     /// Deliberately named like `Iterator::next` — the engine is consumed
     /// the same way — but it is not an `Iterator` because handlers need
     /// `&mut Engine` back between events.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
-        let Scheduled { at, event, .. } = self.heap.pop()?;
-        debug_assert!(at >= self.now);
-        self.now = at;
-        self.processed += 1;
-        Some((at, event))
+        loop {
+            let Scheduled { at, seq, event } = self.heap.pop()?;
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            self.cancellable.remove(&seq);
+            debug_assert!(at >= self.now);
+            self.now = at;
+            self.processed += 1;
+            return Some((at, event));
+        }
     }
 
-    /// Peeks at the timestamp of the next event without popping it.
+    /// Peeks at the timestamp of the next live event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        if self.cancelled.is_empty() {
+            return self.heap.peek().map(|s| s.at);
+        }
+        // Rare path: skip lazily-cancelled timers still in the heap.
+        self.heap.iter().filter(|s| !self.cancelled.contains(&s.seq)).map(|s| s.at).min()
     }
 
     /// Discards all pending events (the clock keeps its value).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.cancellable.clear();
+        self.cancelled.clear();
     }
 }
 
@@ -275,6 +329,56 @@ mod tests {
         assert_eq!(eng.peek_time(), Some(SimTime::from_nanos(7)));
         eng.clear();
         assert!(eng.next().is_none());
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut eng = Engine::new();
+        let h = eng.schedule_cancellable(SimDuration::from_nanos(10), "timeout");
+        eng.schedule(SimDuration::from_nanos(20), "work");
+        assert_eq!(eng.pending(), 2);
+        assert!(eng.cancel(h));
+        assert_eq!(eng.pending(), 1);
+        // Second cancel is a no-op.
+        assert!(!eng.cancel(h));
+        let (t, ev) = eng.next().unwrap();
+        assert_eq!(ev, "work");
+        assert_eq!(t, SimTime::from_nanos(20));
+        assert!(eng.next().is_none());
+        // Skipped timers do not count as processed.
+        assert_eq!(eng.processed(), 1);
+    }
+
+    #[test]
+    fn uncancelled_timer_fires_and_handle_expires() {
+        let mut eng = Engine::new();
+        let h = eng.schedule_cancellable(SimDuration::from_nanos(5), 'x');
+        let (_, ev) = eng.next().unwrap();
+        assert_eq!(ev, 'x');
+        // The timer already fired: cancelling its handle is a no-op.
+        assert!(!eng.cancel(h));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_timers() {
+        let mut eng = Engine::new();
+        let h = eng.schedule_cancellable(SimDuration::from_nanos(3), 0);
+        eng.schedule(SimDuration::from_nanos(9), 1);
+        assert_eq!(eng.peek_time(), Some(SimTime::from_nanos(3)));
+        eng.cancel(h);
+        assert_eq!(eng.peek_time(), Some(SimTime::from_nanos(9)));
+    }
+
+    #[test]
+    fn clear_forgets_cancellation_state() {
+        let mut eng = Engine::new();
+        let h = eng.schedule_cancellable(SimDuration::from_nanos(3), ());
+        eng.cancel(h);
+        eng.clear();
+        assert_eq!(eng.pending(), 0);
+        eng.schedule(SimDuration::from_nanos(1), ());
+        assert_eq!(eng.pending(), 1);
+        assert!(eng.next().is_some());
     }
 
     #[test]

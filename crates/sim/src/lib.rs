@@ -42,6 +42,6 @@ mod server;
 mod time;
 
 pub use collect::{Counter, Tally, TimeWeighted};
-pub use engine::{run, Engine};
+pub use engine::{run, Engine, TimerHandle};
 pub use server::ServerPool;
 pub use time::{SimDuration, SimTime};

@@ -37,6 +37,7 @@ pub struct ServerPool<J> {
     started: u64,
     arrived: u64,
     queue_high_water: usize,
+    down: bool,
 }
 
 impl<J> ServerPool<J> {
@@ -57,6 +58,7 @@ impl<J> ServerPool<J> {
             started: 0,
             arrived: 0,
             queue_high_water: 0,
+            down: false,
         }
     }
 
@@ -65,7 +67,13 @@ impl<J> ServerPool<J> {
     /// Returns `Some(job)` if a server was free and the job should start
     /// service immediately (the caller schedules its completion); `None` if
     /// it was queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the station is down — routing to a failed station is a
+    /// model bug; callers must check [`ServerPool::is_down`] first.
     pub fn arrive(&mut self, now: SimTime, job: J) -> Option<J> {
+        assert!(!self.down, "job arrived at a down station");
         self.arrived += 1;
         if self.busy < self.servers {
             self.busy += 1;
@@ -127,13 +135,49 @@ impl<J> ServerPool<J> {
         self.arrived
     }
 
+    /// Marks the station down at `now`: every in-service and queued job is
+    /// lost (a crash forgets its work). Returns the number of jobs dropped.
+    /// The caller is responsible for never delivering completion events for
+    /// jobs that were in service — see the epoch scheme in `kooza-gfs`.
+    pub fn fail_all(&mut self, now: SimTime) -> usize {
+        let lost = self.busy + self.queue.len();
+        self.busy = 0;
+        self.busy_servers.record(now, 0.0);
+        self.queue.clear();
+        self.queue_len.record(now, 0.0);
+        self.down = true;
+        lost
+    }
+
+    /// Brings a down station back into service (empty and idle).
+    pub fn set_up(&mut self) {
+        self.down = false;
+    }
+
+    /// Whether the station is down (crashed and not yet recovered).
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
     /// Time-averaged server utilization in `[0, 1]`, measured up to `now`.
+    ///
+    /// A station observed at `SimTime::ZERO` has accumulated no time, so
+    /// the mean is defined as `0.0` (not `NaN`/`busy/servers`).
     pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
         self.busy_servers.mean_until(now, self.busy as f64) / self.servers as f64
     }
 
     /// Time-averaged queue length, measured up to `now`.
+    ///
+    /// Defined as `0.0` when observed at `SimTime::ZERO` (no time has
+    /// accumulated to average over).
     pub fn mean_queue_len(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
         self.queue_len.mean_until(now, self.queue.len() as f64)
     }
 
@@ -214,6 +258,62 @@ mod tests {
         let now = SimTime::from_nanos(100);
         let u = pool.utilization(now);
         assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn zero_time_observation_is_zero_not_nan() {
+        // Regression: observing a pool at t=0 after an arrival at t=0 used
+        // to report utilization busy/servers (a zero-span average); before
+        // any record the guard also forecloses any NaN/∞ path. Both
+        // metrics must read 0.0 — no time has accumulated.
+        let mut pool = ServerPool::new(2);
+        assert!(pool.arrive(SimTime::ZERO, 'a').is_some());
+        assert!(pool.arrive(SimTime::ZERO, 'b').is_some());
+        assert!(pool.arrive(SimTime::ZERO, 'c').is_none());
+        assert_eq!(pool.utilization(SimTime::ZERO), 0.0);
+        assert_eq!(pool.mean_queue_len(SimTime::ZERO), 0.0);
+        // A fresh pool observed before any arrival is also 0.0.
+        let empty: ServerPool<()> = ServerPool::new(3);
+        assert_eq!(empty.utilization(SimTime::ZERO), 0.0);
+        assert_eq!(empty.mean_queue_len(SimTime::ZERO), 0.0);
+        assert_eq!(empty.utilization(SimTime::from_nanos(10)), 0.0);
+        assert_eq!(empty.mean_queue_len(SimTime::from_nanos(10)), 0.0);
+    }
+
+    #[test]
+    fn fail_all_drops_work_and_blocks_arrivals() {
+        let mut pool = ServerPool::new(1);
+        assert!(pool.arrive(SimTime::ZERO, 1).is_some());
+        assert!(pool.arrive(SimTime::ZERO, 2).is_none());
+        assert!(pool.arrive(SimTime::ZERO, 3).is_none());
+        assert!(!pool.is_down());
+        let lost = pool.fail_all(SimTime::from_nanos(50));
+        assert_eq!(lost, 3, "one in service + two queued");
+        assert!(pool.is_down());
+        assert_eq!(pool.busy(), 0);
+        assert_eq!(pool.queued(), 0);
+        pool.set_up();
+        assert!(!pool.is_down());
+        // The recovered station serves again from empty.
+        assert_eq!(pool.arrive(SimTime::from_nanos(60), 4), Some(4));
+    }
+
+    #[test]
+    fn utilization_integrates_across_a_crash() {
+        let mut pool = ServerPool::new(1);
+        assert!(pool.arrive(SimTime::ZERO, ()).is_some());
+        // Busy 0..50, crashed (idle) 50..100 → utilization 0.5.
+        pool.fail_all(SimTime::from_nanos(50));
+        let u = pool.utilization(SimTime::from_nanos(100));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "down station")]
+    fn arrival_at_down_station_panics() {
+        let mut pool = ServerPool::new(1);
+        pool.fail_all(SimTime::ZERO);
+        pool.arrive(SimTime::from_nanos(1), ());
     }
 
     #[test]

@@ -55,11 +55,21 @@ pub fn hurst_rs(data: &[f64]) -> Result<f64> {
     Ok(slope.clamp(0.0, 1.0))
 }
 
-/// R/S statistic of one block; `None` if the block is constant.
+/// R/S statistic of one block; `None` if the block is constant or has
+/// fewer than two points (no deviation to rescale by).
+///
+/// Uses the *sample* standard deviation (n − 1 divisor): R/S is computed
+/// on small blocks (down to 8 points here), where the population form
+/// biases S low and inflates every R/S value — the same finite-sample
+/// concern the Anis–Lloyd correction addresses.
 fn rescaled_range(chunk: &[f64]) -> Option<f64> {
+    if chunk.len() < 2 {
+        return None;
+    }
     let n = chunk.len() as f64;
     let mean = chunk.iter().sum::<f64>() / n;
-    let std = (chunk.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt();
+    let std =
+        (chunk.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt();
     if std == 0.0 {
         return None;
     }
@@ -125,8 +135,11 @@ pub fn fgn_approximate(h: f64, n: usize, rng: &mut kooza_sim::rng::Rng64) -> Vec
     assert!(h > 0.0 && h < 1.0, "Hurst exponent must be in (0,1), got {h}");
     assert!(n > 0, "need a positive length");
     // Build fractional Brownian motion by aggregating scaled noise octaves,
-    // then difference it to get fGn.
-    let levels = (n as f64).log2().ceil() as usize + 1;
+    // then difference it to get fGn. `next_power_of_two` keeps the level
+    // count exact for n < 2 and non-power-of-two n, where the float
+    // `log2().ceil()` form was fragile; the cap keeps the shift below the
+    // word size for absurd n instead of overflowing.
+    let levels = (n.next_power_of_two().trailing_zeros() as usize + 1).min(usize::BITS as usize - 2);
     let size = 1usize << levels;
     let mut fbm = vec![0.0f64; size + 1];
     let mut scale = 1.0;
@@ -207,6 +220,44 @@ mod tests {
     fn short_series_rejected() {
         assert!(hurst_rs(&[1.0; 8]).is_err());
         assert!(hurst_aggregated_variance(&[1.0; 16]).is_err());
+    }
+
+    #[test]
+    fn rescaled_range_uses_sample_std() {
+        // Regression: [0, 1] has mean 0.5, range of cumulative deviations
+        // 0.5, and sample std √0.5 ≈ 0.7071 — so R/S ≈ 0.7071. The old
+        // population form (divisor n) gave std 0.5 and R/S exactly 1.0.
+        let rs = rescaled_range(&[0.0, 1.0]).unwrap();
+        assert!((rs - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12, "R/S {rs}");
+    }
+
+    #[test]
+    fn rescaled_range_degenerate_blocks() {
+        // Fewer than two points: no deviation to rescale by.
+        assert_eq!(rescaled_range(&[]), None);
+        assert_eq!(rescaled_range(&[3.0]), None);
+        // Constant blocks have zero std.
+        assert_eq!(rescaled_range(&[2.0; 16]), None);
+    }
+
+    #[test]
+    fn constant_series_errors_instead_of_panicking() {
+        // Every block is constant → no usable R/S points → a clean error.
+        assert!(hurst_rs(&[5.0; 256]).is_err());
+        assert!(hurst_aggregated_variance(&[5.0; 256]).is_err());
+    }
+
+    #[test]
+    fn fgn_tiny_lengths_are_exact() {
+        // Boundary audit of the octave-count computation: n = 1, 2 and a
+        // non-power-of-two n must all produce exactly n samples without
+        // panicking.
+        for n in [1usize, 2, 3, 5, 7, 9, 1000] {
+            let mut rng = Rng64::new(404 + n as u64);
+            let data = fgn_approximate(0.7, n, &mut rng);
+            assert_eq!(data.len(), n, "n = {n}");
+            assert!(data.iter().all(|x| x.is_finite()), "n = {n}");
+        }
     }
 
     #[test]

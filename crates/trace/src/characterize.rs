@@ -54,9 +54,12 @@ pub fn storage_profile(records: &[StorageRecord]) -> Result<StorageProfile> {
             w[1].lbn >= w[0].lbn && w[1].lbn <= end
         })
         .count();
+    // saturating_sub: the sort makes underflow impossible today, but this
+    // is the canonical interarrival computation — keep it panic-free even
+    // if the sort above is ever reordered or removed.
     let gaps: Vec<f64> = sorted
         .windows(2)
-        .map(|w| (w[1].ts_nanos - w[0].ts_nanos) as f64 / 1e9)
+        .map(|w| w[1].ts_nanos.saturating_sub(w[0].ts_nanos) as f64 / 1e9)
         .collect();
     Ok(StorageProfile {
         count: sorted.len(),
@@ -106,20 +109,29 @@ pub fn arrival_profile(records: &[NetworkRecord]) -> Result<ArrivalProfile> {
         ingress.iter().map(|r| r.size as f64).sum::<f64>() / ingress.len() as f64;
     let interarrivals: Vec<f64> = ingress
         .windows(2)
-        .map(|w| (w[1].ts_nanos - w[0].ts_nanos) as f64 / 1e9)
+        .map(|w| w[1].ts_nanos.saturating_sub(w[0].ts_nanos) as f64 / 1e9)
         .collect();
-    let span_secs =
-        (ingress.last().unwrap().ts_nanos - ingress[0].ts_nanos) as f64 / 1e9;
+    let span_secs = ingress
+        .last()
+        .unwrap()
+        .ts_nanos
+        .saturating_sub(ingress[0].ts_nanos) as f64
+        / 1e9;
     let burstiness = burstiness_cv2(&interarrivals).ok();
+    // A single record (or all records at one timestamp) has zero span;
+    // reporting 0.0 would read downstream as "no traffic" for a trace
+    // that plainly has some. Flooring the span at 1 ns — the trace clock
+    // resolution — gives the largest rate the data can support instead.
+    let rate_per_sec = if span_secs > 0.0 {
+        (ingress.len() - 1) as f64 / span_secs
+    } else {
+        ingress.len() as f64 / 1e-9
+    };
     Ok(ArrivalProfile {
         count: ingress.len(),
         mean_size,
         burstiness_cv2: burstiness,
-        rate_per_sec: if span_secs > 0.0 {
-            (ingress.len() - 1) as f64 / span_secs
-        } else {
-            0.0
-        },
+        rate_per_sec,
         interarrivals,
     })
 }
@@ -355,6 +367,43 @@ mod tests {
         let b = p.burstiness_cv2.unwrap();
         assert!((b - 1.0).abs() < 0.2, "cv² {b}");
         assert_eq!(p.mean_size, 65536.0);
+    }
+
+    #[test]
+    fn single_record_reports_positive_rate() {
+        // Regression: one ingress record has zero span and used to report
+        // rate_per_sec 0.0 — "no traffic" for a trace with traffic.
+        let recs = vec![NetworkRecord {
+            ts_nanos: 5_000,
+            size: 4096,
+            direction: Direction::Ingress,
+            request_id: 0,
+        }];
+        let p = arrival_profile(&recs).unwrap();
+        assert_eq!(p.count, 1);
+        assert!(p.rate_per_sec > 0.0, "rate {}", p.rate_per_sec);
+        assert!(p.rate_per_sec.is_finite());
+        assert!(p.interarrivals.is_empty());
+    }
+
+    #[test]
+    fn same_timestamp_records_report_positive_rate() {
+        // Regression: all records sharing one timestamp is the other
+        // zero-span shape — a burst the clock could not resolve, not an
+        // idle trace.
+        let recs: Vec<NetworkRecord> = (0..3)
+            .map(|i| NetworkRecord {
+                ts_nanos: 1_000_000,
+                size: 100,
+                direction: Direction::Ingress,
+                request_id: i,
+            })
+            .collect();
+        let p = arrival_profile(&recs).unwrap();
+        assert_eq!(p.count, 3);
+        assert!(p.rate_per_sec > 0.0, "rate {}", p.rate_per_sec);
+        assert!(p.rate_per_sec.is_finite());
+        assert_eq!(p.interarrivals, vec![0.0, 0.0]);
     }
 
     #[test]

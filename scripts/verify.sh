@@ -52,4 +52,10 @@ echo "== observability determinism: stripped --obs report identical at KOOZA_THR
 # internally; the env var exercises the sizing path on top.
 KOOZA_THREADS=8 cargo test -q --offline --test obs_determinism
 
+echo "== fault determinism: outcomes and obs identical under a nonzero fault plan =="
+# With crashes, retries, failovers and re-replication active, the
+# per-request outcome log and stripped obs report must still be
+# byte-identical at 1/2/8 threads.
+KOOZA_THREADS=8 cargo test -q --offline --test fault_determinism
+
 echo "verify: OK"

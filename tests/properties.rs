@@ -14,6 +14,8 @@ use kooza_sim::rng::Rng64;
 use kooza_sim::{Engine, SimDuration, Tally};
 use kooza_stats::dist::{Distribution, Exponential, LogNormal, Pareto, Uniform, Weibull};
 use kooza_stats::summary::percentile;
+use kooza_trace::characterize::{arrival_profile, storage_profile};
+use kooza_trace::record::{Direction, IoOp, NetworkRecord, StorageRecord};
 
 /// Every distribution's quantile inverts its cdf on the open interval.
 #[test]
@@ -176,6 +178,65 @@ fn tally_matches_two_pass() {
                 (tally.variance() - var).abs() < 1e-5 * (1.0 + var.abs()),
                 "variance {} vs {var}",
                 tally.variance()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Trace characterization never panics on arbitrary record orderings —
+/// including duplicate timestamps and fully reversed input — and the
+/// derived interarrival features are non-negative with a positive,
+/// finite arrival rate (regression for the zero-span / unsorted-input
+/// edge cases in `characterize.rs`).
+#[test]
+fn characterization_tolerates_any_record_order() {
+    checker("characterization_tolerates_any_record_order").run(
+        vec_of(
+            zip3(
+                u64_range(0, 1_000), // timestamps: a tight range forces duplicates
+                u64_range(0, 100_000),
+                u64_range(1, 1 << 20),
+            ),
+            1,
+            80,
+        ),
+        |recs: &Vec<(u64, u64, u64)>| {
+            let storage: Vec<StorageRecord> = recs
+                .iter()
+                .enumerate()
+                .map(|(i, &(ts, lbn, size))| StorageRecord {
+                    ts_nanos: ts,
+                    lbn,
+                    size,
+                    op: if i % 2 == 0 { IoOp::Read } else { IoOp::Write },
+                    request_id: i as u64,
+                })
+                .collect();
+            let sp = storage_profile(&storage).expect("non-empty storage trace");
+            ensure!(sp.count == recs.len(), "dropped records");
+            if let Some(ia) = &sp.interarrival {
+                ensure!(ia.mean >= 0.0, "negative mean interarrival {}", ia.mean);
+            }
+            let network: Vec<NetworkRecord> = recs
+                .iter()
+                .enumerate()
+                .map(|(i, &(ts, _, size))| NetworkRecord {
+                    ts_nanos: ts,
+                    size,
+                    direction: Direction::Ingress,
+                    request_id: i as u64,
+                })
+                .collect();
+            let ap = arrival_profile(&network).expect("non-empty ingress trace");
+            ensure!(
+                ap.interarrivals.iter().all(|&g| g >= 0.0),
+                "negative interarrival"
+            );
+            ensure!(
+                ap.rate_per_sec > 0.0 && ap.rate_per_sec.is_finite(),
+                "degenerate rate {}",
+                ap.rate_per_sec
             );
             Ok(())
         },
