@@ -16,7 +16,8 @@ use kooza_sim::rng::Rng64;
 use kooza_sim::{Engine, SimDuration};
 use kooza_stats::dist::{Distribution, Exponential, LogNormal};
 use kooza_stats::fit::FitPipeline;
-use kooza_stats::ks::ks_one_sample;
+use kooza_stats::ks::{ks_one_sample, ks_one_sample_presorted};
+use kooza_stats::sorted::SortedSample;
 use kooza_stats::pca::Pca;
 
 fn bench_sim_engine(h: &mut Harness) {
@@ -57,6 +58,12 @@ fn bench_ks_test(h: &mut Harness) {
     let data: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
     h.bench_function("ks_one_sample_10k", |b| {
         b.iter(|| black_box(ks_one_sample(&data, &d).unwrap().statistic))
+    });
+    // The presorted variant skips validation and the O(n log n) sort, which
+    // is what the fit pipeline amortizes across all candidate families.
+    let sorted = SortedSample::new(&data).unwrap();
+    h.bench_function("ks_presorted_10k", |b| {
+        b.iter(|| black_box(ks_one_sample_presorted(&sorted, &d).statistic))
     });
 }
 
@@ -209,6 +216,14 @@ fn bench_exec_par_map(h: &mut Harness) {
     h.bench_function("exec_par_map_256", |b| {
         let pool = Pool::new();
         b.iter(|| black_box(pool.par_map(&items, work)))
+    });
+    // Trivial per-item work over a small input: the median is dominated by
+    // the cost of handing a job to the persistent pool and draining it, so
+    // this tracks the per-call reuse overhead rather than throughput.
+    let small: Vec<u64> = (0..64).collect();
+    h.bench_function("exec_pool_reuse_64", |b| {
+        let pool = Pool::with_threads(2);
+        b.iter(|| black_box(pool.par_map(&small, |x| x.wrapping_mul(3))))
     });
 }
 

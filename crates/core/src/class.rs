@@ -7,11 +7,11 @@
 //! *class* — its phase sequence signature. Classes are what KOOZA's
 //! time-dependency queue is built from.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use kooza_trace::record::{Direction, IoOp};
 use kooza_trace::view::TraceView;
-use kooza_trace::TraceSet;
+use kooza_trace::{Span, TraceSet};
 
 use crate::{ModelError, Result};
 
@@ -118,35 +118,21 @@ pub fn assemble_observations_view(trace: &TraceView<'_>) -> Result<Vec<RequestOb
     if trace.network.is_empty() {
         return Err(ModelError::MissingStream("network"));
     }
-    let mut by_request: BTreeMap<u64, RequestObservation> = BTreeMap::new();
-    for tree in trace.span_trees() {
-        let id = tree.trace_id().0;
-        let phases = tree.phase_sequence();
-        let mut durations = Vec::with_capacity(phases.len());
-        let mut leaves: Vec<&kooza_trace::Span> = tree
-            .spans()
-            .filter(|s| tree.children(s.span_id).is_empty())
-            .collect();
-        leaves.sort_by_key(|s| (s.start_nanos, s.span_id));
-        for leaf in &leaves {
-            durations.push(leaf.duration_nanos());
+    // Group borrowed spans by trace id. This intentionally bypasses
+    // `span_trees()`: building a `TraceTree` clones every span (including
+    // its name string) into per-tree maps, and on a 1k-request trace that
+    // join dominated the whole training pass. Only the root, the leaf set
+    // and the tree-validity checks are needed here, and all three fall out
+    // of one pass over the borrowed group.
+    let mut by_trace: HashMap<u64, Vec<&Span>> = HashMap::new();
+    for span in trace.spans {
+        by_trace.entry(span.trace_id.0).or_default().push(span);
+    }
+    let mut by_request: HashMap<u64, RequestObservation> = HashMap::with_capacity(by_trace.len());
+    for (id, spans) in by_trace {
+        if let Some(obs) = observation_from_spans(id, &spans) {
+            by_request.insert(id, obs);
         }
-        by_request.insert(
-            id,
-            RequestObservation {
-                request_id: id,
-                arrival_nanos: tree.root().start_nanos,
-                network_in_bytes: 0,
-                network_out_bytes: 0,
-                cpu_busy_nanos: 0,
-                cpu_utilization: 0.0,
-                memory: Vec::new(),
-                storage: Vec::new(),
-                latency_nanos: tree.total_latency_nanos(),
-                phase_sequence: phases.iter().map(|s| s.to_string()).collect(),
-                phase_durations_nanos: durations,
-            },
-        );
     }
     if by_request.is_empty() {
         return Err(ModelError::InsufficientRequests { needed: 1, got: 0 });
@@ -178,6 +164,58 @@ pub fn assemble_observations_view(trace: &TraceView<'_>) -> Result<Vec<RequestOb
     let mut out: Vec<RequestObservation> = by_request.into_values().collect();
     out.sort_by_key(|o| (o.arrival_nanos, o.request_id));
     Ok(out)
+}
+
+/// Builds one request's observation skeleton from its borrowed spans, or
+/// `None` if they do not form a valid tree — the same groups
+/// [`kooza_trace::TraceTree::build`] rejects (duplicate span ids, not
+/// exactly one root, or a reference to a missing parent).
+fn observation_from_spans(id: u64, spans: &[&Span]) -> Option<RequestObservation> {
+    let mut span_ids: Vec<u64> = spans.iter().map(|s| s.span_id.0).collect();
+    span_ids.sort_unstable();
+    if span_ids.windows(2).any(|w| w[0] == w[1]) {
+        return None;
+    }
+    let mut root: Option<&Span> = None;
+    // Span ids that appear as a parent; the complement is the leaf set.
+    let mut parent_ids: Vec<u64> = Vec::with_capacity(spans.len());
+    for span in spans {
+        match span.parent {
+            None => {
+                if root.is_some() {
+                    return None;
+                }
+                root = Some(span);
+            }
+            Some(parent) => {
+                if span_ids.binary_search(&parent.0).is_err() {
+                    return None;
+                }
+                parent_ids.push(parent.0);
+            }
+        }
+    }
+    let root = root?;
+    parent_ids.sort_unstable();
+    let mut leaves: Vec<&Span> = spans
+        .iter()
+        .copied()
+        .filter(|s| parent_ids.binary_search(&s.span_id.0).is_err())
+        .collect();
+    leaves.sort_by_key(|s| (s.start_nanos, s.span_id.0));
+    Some(RequestObservation {
+        request_id: id,
+        arrival_nanos: root.start_nanos,
+        network_in_bytes: 0,
+        network_out_bytes: 0,
+        cpu_busy_nanos: 0,
+        cpu_utilization: 0.0,
+        memory: Vec::new(),
+        storage: Vec::new(),
+        latency_nanos: root.duration_nanos(),
+        phase_sequence: leaves.iter().map(|s| s.name.clone()).collect(),
+        phase_durations_nanos: leaves.iter().map(|s| s.duration_nanos()).collect(),
+    })
 }
 
 /// Groups observations by class signature, most frequent class first.
@@ -252,6 +290,63 @@ mod tests {
                 assert_eq!(!m.storage.is_empty(), has_disk, "sig {sig}");
             }
         }
+    }
+
+    #[test]
+    fn assembly_matches_span_tree_reference() {
+        use kooza_trace::{SpanId, TraceId};
+        // The fast grouped join must produce exactly what the
+        // TraceTree-based reference produces, including skipping the same
+        // malformed span groups.
+        let mut trace = gfs_trace(WorkloadMix::mixed(), 300);
+        let t = TraceId(1_000_001);
+        // Two roots: invalid, must be skipped.
+        trace.spans.push(Span::new(t, SpanId(0), None, "request", 1, 10));
+        trace.spans.push(Span::new(t, SpanId(1), None, "request", 2, 9));
+        // Missing parent: invalid.
+        let t2 = TraceId(1_000_002);
+        trace.spans.push(Span::new(t2, SpanId(0), None, "request", 1, 10));
+        trace.spans.push(Span::new(t2, SpanId(1), Some(SpanId(9)), "cpu", 2, 9));
+        // Duplicate span id: invalid.
+        let t3 = TraceId(1_000_003);
+        trace.spans.push(Span::new(t3, SpanId(0), None, "request", 1, 10));
+        trace.spans.push(Span::new(t3, SpanId(0), Some(SpanId(0)), "cpu", 2, 9));
+        let obs = assemble_observations(&trace).unwrap();
+        let mut reference: Vec<RequestObservation> = trace
+            .span_trees()
+            .into_iter()
+            .map(|tree| {
+                let mut leaves: Vec<&Span> = tree
+                    .spans()
+                    .filter(|s| tree.children(s.span_id).is_empty())
+                    .collect();
+                leaves.sort_by_key(|s| (s.start_nanos, s.span_id));
+                RequestObservation {
+                    request_id: tree.trace_id().0,
+                    arrival_nanos: tree.root().start_nanos,
+                    network_in_bytes: 0,
+                    network_out_bytes: 0,
+                    cpu_busy_nanos: 0,
+                    cpu_utilization: 0.0,
+                    memory: Vec::new(),
+                    storage: Vec::new(),
+                    latency_nanos: tree.total_latency_nanos(),
+                    phase_sequence: leaves.iter().map(|s| s.name.clone()).collect(),
+                    phase_durations_nanos: leaves.iter().map(|s| s.duration_nanos()).collect(),
+                }
+            })
+            .collect();
+        reference.sort_by_key(|o| (o.arrival_nanos, o.request_id));
+        assert_eq!(obs.len(), reference.len());
+        for (a, b) in obs.iter().zip(&reference) {
+            assert_eq!(a.request_id, b.request_id);
+            assert_eq!(a.arrival_nanos, b.arrival_nanos);
+            assert_eq!(a.latency_nanos, b.latency_nanos);
+            assert_eq!(a.phase_sequence, b.phase_sequence);
+            assert_eq!(a.phase_durations_nanos, b.phase_durations_nanos);
+        }
+        // None of the three malformed traces survived.
+        assert!(obs.iter().all(|o| o.request_id < 1_000_001));
     }
 
     #[test]

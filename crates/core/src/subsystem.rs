@@ -62,12 +62,10 @@ impl NetworkModel {
         let (interarrival, family): (Box<dyn Distribution>, &'static str) =
             match FitPipeline::timing().run(&gaps) {
                 Ok(report) => {
-                    let best = report.best();
-                    (
-                        // Re-fit the winning family to own the distribution.
-                        refit(best.family, &gaps)?,
-                        best.family,
-                    )
+                    // Keep the pipeline's own fitted winner instead of
+                    // re-fitting it from scratch.
+                    let best = report.into_best();
+                    (best.dist, best.family)
                 }
                 Err(_) => (
                     Box::new(
@@ -114,18 +112,6 @@ impl NetworkModel {
     pub fn parameter_count(&self) -> usize {
         2 + distinct(&self.sizes_in) + distinct(&self.sizes_out)
     }
-}
-
-fn refit(family: &str, data: &[f64]) -> Result<Box<dyn Distribution>> {
-    use kooza_stats::fit;
-    let d: Box<dyn Distribution> = match family {
-        "exponential" => Box::new(fit::fit_exponential(data).map_err(ModelError::Stats)?),
-        "lognormal" => Box::new(fit::fit_lognormal(data).map_err(ModelError::Stats)?),
-        "pareto" => Box::new(fit::fit_pareto(data).map_err(ModelError::Stats)?),
-        "weibull" => Box::new(fit::fit_weibull(data).map_err(ModelError::Stats)?),
-        _ => Box::new(fit::fit_exponential(data).map_err(ModelError::Stats)?),
-    };
-    Ok(d)
 }
 
 fn distinct(e: &Empirical) -> usize {

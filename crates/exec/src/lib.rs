@@ -14,8 +14,16 @@
 //! * a thread count of 1 takes the exact serial code path — no pool, no
 //!   chunking, no atomics.
 //!
-//! The pool is std-only (scoped threads, no external crates) so the
-//! workspace stays hermetic.
+//! The pool is std-only (no external crates) so the workspace stays
+//! hermetic. Parallel calls run on a lazily-created **persistent worker
+//! pool**: workers are spawned once, park on a condvar between calls, and
+//! are handed chunked work per call — no per-call thread spawning. The
+//! submitting thread participates as worker slot 0 and blocks until every
+//! worker has finished the call, which is what makes handing workers a
+//! borrowed closure sound (see `Job`). Determinism is unaffected: chunk
+//! *identity* still decides merge order and task bodies still derive
+//! randomness from their index, so which thread runs a chunk is
+//! unobservable.
 //!
 //! # Thread-count resolution
 //!
@@ -36,9 +44,11 @@
 
 pub mod profile;
 
+use std::any::Any;
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 thread_local! {
@@ -115,11 +125,136 @@ pub fn resolved_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
-/// A scoped thread pool with a fixed thread count.
+/// A type-erased pointer to one call's chunk-runner closure.
 ///
-/// The pool spawns threads per call (scoped, so borrowed inputs work) and
-/// merges results in submission order. Construction is cheap; there is no
-/// persistent worker state to poison determinism between calls.
+/// The closure lives on the submitting thread's stack. Handing it to
+/// persistent workers is sound because [`Hub::scope_run`] publishes the
+/// job, runs slot 0 itself, and then **blocks until every participating
+/// worker has decremented the active count** — the pointee outlives every
+/// dereference. `call` is a monomorphized shim so no trait-object lifetime
+/// needs erasing.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the pointee is `Sync` (enforced by the `F: Fn(usize) + Sync`
+// bound in `scope_run`) and outlives all use, per the contract above.
+unsafe impl Send for Job {}
+
+unsafe fn call_job<F: Fn(usize) + Sync>(data: *const (), slot: usize) {
+    // SAFETY: `data` was created from `&F` in `scope_run` and is still
+    // borrowed there while any worker can reach this call.
+    unsafe { (*data.cast::<F>())(slot) }
+}
+
+struct HubState {
+    /// Bumped once per job; workers use it to claim each job exactly once.
+    generation: u64,
+    job: Option<Job>,
+    /// How many pool workers (indices `0..target`) the current job wants.
+    target: usize,
+    /// Participating workers that have not yet finished the current job.
+    active: usize,
+    /// Worker threads spawned so far (they live for the process).
+    spawned: usize,
+}
+
+/// The process-wide persistent worker set behind every parallel `par_map`.
+struct Hub {
+    /// Serializes whole calls: one job is in flight at a time.
+    submit: Mutex<()>,
+    state: Mutex<HubState>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The submitter parks here until `active` drains to zero.
+    done_cv: Condvar,
+}
+
+static HUB: OnceLock<Hub> = OnceLock::new();
+
+fn hub() -> &'static Hub {
+    HUB.get_or_init(|| Hub {
+        submit: Mutex::new(()),
+        state: Mutex::new(HubState {
+            generation: 0,
+            job: None,
+            target: 0,
+            active: 0,
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+impl Hub {
+    /// Runs `task(slot)` once per slot in `0..=n_pool`: slot 0 on the
+    /// calling thread, slots `1..=n_pool` on persistent workers (spawned
+    /// lazily). Returns after every slot has finished.
+    fn scope_run<F: Fn(usize) + Sync>(&'static self, n_pool: usize, task: &F) {
+        let _turn = self.submit.lock().expect("pool submit mutex poisoned");
+        {
+            let mut s = self.state.lock().expect("pool state mutex poisoned");
+            while s.spawned < n_pool {
+                let index = s.spawned;
+                std::thread::Builder::new()
+                    .name(format!("kooza-pool-{index}"))
+                    .spawn(move || self.worker_loop(index))
+                    .expect("failed to spawn pool worker");
+                s.spawned += 1;
+            }
+            s.generation += 1;
+            s.job = Some(Job {
+                data: (task as *const F).cast(),
+                call: call_job::<F>,
+            });
+            s.target = n_pool;
+            s.active = n_pool;
+            self.work_cv.notify_all();
+        }
+        task(0);
+        let mut s = self.state.lock().expect("pool state mutex poisoned");
+        while s.active > 0 {
+            s = self.done_cv.wait(s).expect("pool state mutex poisoned");
+        }
+        s.job = None;
+    }
+
+    fn worker_loop(&'static self, index: usize) {
+        let mut last_generation = 0u64;
+        loop {
+            let job;
+            {
+                let mut s = self.state.lock().expect("pool state mutex poisoned");
+                loop {
+                    if s.generation != last_generation && index < s.target {
+                        last_generation = s.generation;
+                        job = s.job.expect("published job present until active drains");
+                        break;
+                    }
+                    s = self.work_cv.wait(s).expect("pool state mutex poisoned");
+                }
+            }
+            // SAFETY: see `Job` — the submitter blocks until we decrement
+            // `active` below, so the closure is still alive here.
+            unsafe { (job.call)(job.data, index + 1) };
+            let mut s = self.state.lock().expect("pool state mutex poisoned");
+            s.active -= 1;
+            if s.active == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// A thread-pool handle with a fixed thread count.
+///
+/// Parallel calls borrow the process-wide persistent worker set (spawned
+/// lazily, parked between calls) and merge results in submission order.
+/// The handle itself is just a thread count: construction is free and no
+/// per-handle state can poison determinism between calls.
 #[derive(Debug, Clone, Copy)]
 pub struct Pool {
     threads: usize,
@@ -170,7 +305,10 @@ impl Pool {
     {
         let n = items.len();
         let profiling = profile::enabled();
-        if self.threads <= 1 || n <= 1 {
+        // Nested calls (a task body calling par_map) run serially inline:
+        // the outer call holds the hub, and serial execution is
+        // bit-identical anyway.
+        if self.threads <= 1 || n <= 1 || in_par_map_tasks() {
             if !profiling {
                 // The exact serial path: no pool, no chunking, no atomics.
                 let _tasks = TaskScope::enter();
@@ -221,59 +359,63 @@ impl Pool {
         let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
         let worker_stats: Mutex<Vec<profile::WorkerStats>> = Mutex::new(Vec::new());
         let chunk_stats: Mutex<Vec<profile::ChunkStats>> = Mutex::new(Vec::new());
-        std::thread::scope(|scope| {
-            let f = &f;
-            let next_chunk = &next_chunk;
-            let done = &done;
-            let worker_stats = &worker_stats;
-            let chunk_stats = &chunk_stats;
-            for worker in 0..workers {
-                scope.spawn(move || {
-                    let _tasks = TaskScope::enter();
-                    let mut my = profile::WorkerStats {
-                        worker,
-                        chunks: 0,
-                        items: 0,
-                        busy_nanos: 0,
-                    };
-                    let mut my_chunks: Vec<profile::ChunkStats> = Vec::new();
-                    loop {
-                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
-                        if chunk >= n_chunks {
-                            break;
-                        }
-                        // Trailing chunks can fall entirely past the end
-                        // when chunk_size * n_chunks > n; clamp to empty.
-                        let lo = (chunk * chunk_size).min(n);
-                        let hi = ((chunk + 1) * chunk_size).min(n);
-                        let chunk_start = profiling.then(Instant::now);
-                        let results: Vec<R> =
-                            (lo..hi).map(|i| f(i, &items[i])).collect();
-                        if let Some(t0) = chunk_start {
-                            let busy_nanos = t0.elapsed().as_nanos() as u64;
-                            my.chunks += 1;
-                            my.items += (hi - lo) as u64;
-                            my.busy_nanos += busy_nanos;
-                            my_chunks.push(profile::ChunkStats {
-                                chunk,
-                                worker,
-                                items: (hi - lo) as u64,
-                                busy_nanos,
-                                queue_depth_at_dispatch: (n_chunks - chunk) as u64,
-                            });
-                        }
-                        done.lock().expect("worker panicked holding results").push((chunk, results));
+        let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let task = |worker: usize| {
+            let _tasks = TaskScope::enter();
+            let mut my = profile::WorkerStats {
+                worker,
+                chunks: 0,
+                items: 0,
+                busy_nanos: 0,
+            };
+            let mut my_chunks: Vec<profile::ChunkStats> = Vec::new();
+            // Catch task-body panics so a persistent worker survives them;
+            // the submitter resumes the unwind on its own thread below.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                loop {
+                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
                     }
-                    if profiling {
-                        worker_stats.lock().expect("profile mutex poisoned").push(my);
-                        chunk_stats
-                            .lock()
-                            .expect("profile mutex poisoned")
-                            .extend(my_chunks);
+                    // Trailing chunks can fall entirely past the end
+                    // when chunk_size * n_chunks > n; clamp to empty.
+                    let lo = (chunk * chunk_size).min(n);
+                    let hi = ((chunk + 1) * chunk_size).min(n);
+                    let chunk_start = profiling.then(Instant::now);
+                    let results: Vec<R> = (lo..hi).map(|i| f(i, &items[i])).collect();
+                    if let Some(t0) = chunk_start {
+                        let busy_nanos = t0.elapsed().as_nanos() as u64;
+                        my.chunks += 1;
+                        my.items += (hi - lo) as u64;
+                        my.busy_nanos += busy_nanos;
+                        my_chunks.push(profile::ChunkStats {
+                            chunk,
+                            worker,
+                            items: (hi - lo) as u64,
+                            busy_nanos,
+                            queue_depth_at_dispatch: (n_chunks - chunk) as u64,
+                        });
                     }
-                });
+                    done.lock().expect("worker panicked holding results").push((chunk, results));
+                }
+            }));
+            if let Err(payload) = outcome {
+                let mut slot = panicked.lock().expect("pool panic slot poisoned");
+                slot.get_or_insert(payload);
             }
-        });
+            if profiling {
+                worker_stats.lock().expect("profile mutex poisoned").push(my);
+                chunk_stats
+                    .lock()
+                    .expect("profile mutex poisoned")
+                    .extend(my_chunks);
+            }
+        };
+        // Slot 0 is this thread; slots 1..workers are persistent workers.
+        hub().scope_run(workers - 1, &task);
+        if let Some(payload) = panicked.into_inner().expect("pool panic slot poisoned") {
+            resume_unwind(payload);
+        }
         if profiling {
             let mut workers_v = worker_stats.into_inner().expect("profile mutex poisoned");
             workers_v.sort_unstable_by_key(|w| w.worker);
@@ -379,12 +521,72 @@ mod tests {
 
     #[test]
     fn borrowed_inputs_work() {
-        // Scoped threads: closures may borrow from the caller's stack.
+        // Closures may borrow from the caller's stack: the submitter blocks
+        // until the persistent workers are done with the borrow.
         let base = [10u64, 20, 30];
         let offsets: Vec<u64> = (0..50).collect();
         let got = Pool::with_threads(4).par_map(&offsets, |o| base[(*o % 3) as usize] + o);
         assert_eq!(got.len(), 50);
         assert_eq!(got[0], 10);
         assert_eq!(got[4], 24);
+    }
+
+    #[test]
+    fn pool_reuse_is_stable_across_many_calls() {
+        // The persistent workers are handed hundreds of distinct jobs with
+        // varying shapes; every call must stay correct and ordered.
+        let pool = Pool::with_threads(4);
+        for round in 0..200u64 {
+            let n = 1 + (round as usize * 7) % 40;
+            let items: Vec<u64> = (0..n as u64).collect();
+            let got = pool.par_map(&items, |x| x * 3 + round);
+            let expect: Vec<u64> = items.iter().map(|x| x * 3 + round).collect();
+            assert_eq!(got, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn task_panics_propagate_and_pool_survives() {
+        let items: Vec<u64> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::with_threads(4).par_map(&items, |x| {
+                assert!(*x != 13, "boom at 13");
+                *x
+            })
+        });
+        assert!(result.is_err(), "panic should propagate to the caller");
+        // The workers survived the panic and keep serving jobs.
+        let got = Pool::with_threads(4).par_map(&items, |x| x + 1);
+        assert_eq!(got, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn concurrent_callers_are_serialized_safely() {
+        // Multiple threads submitting at once take turns on the hub; each
+        // still gets its own correctly ordered result.
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                scope.spawn(move || {
+                    let items: Vec<u64> = (0..301).collect();
+                    let got = Pool::with_threads(3).par_map(&items, |x| x * 2 + t);
+                    let expect: Vec<u64> = items.iter().map(|x| x * 2 + t).collect();
+                    assert_eq!(got, expect, "caller {t}");
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn nested_calls_fall_back_to_serial() {
+        // A task body calling par_map again must not deadlock on the hub;
+        // it runs serially inline and produces identical results.
+        let outer: Vec<u64> = (0..8).collect();
+        let got = Pool::with_threads(4).par_map(&outer, |o| {
+            let inner: Vec<u64> = (0..5).collect();
+            assert!(in_par_map_tasks());
+            Pool::with_threads(4).par_map(&inner, |i| i + o).iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = outer.iter().map(|o| (0..5u64).map(|i| i + o).sum()).collect();
+        assert_eq!(got, expect);
     }
 }

@@ -1,6 +1,8 @@
 //! First-order discrete Markov chains.
 
-use kooza_sim::rng::Rng64;
+use std::sync::OnceLock;
+
+use kooza_sim::rng::{Rng64, WeightedIndex};
 
 use crate::{MarkovError, Result};
 
@@ -8,13 +10,59 @@ use crate::{MarkovError, Result};
 ///
 /// Rows of the transition matrix are probability distributions; the initial
 /// distribution is learned from sequence starts (or defaults to uniform).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Sampling is hot-path optimized: every transition row (and the initial
+/// distribution) carries a [`WeightedIndex`] cumulative table, so
+/// [`MarkovChain::next_state`] is one uniform plus an O(log n) binary
+/// search instead of a linear CDF scan — and bit-identical to the scan it
+/// replaced (see `WeightedIndex`'s equivalence contract in `kooza-sim`).
+/// Row tables are built lazily on first sample: the exact-threshold
+/// construction is O(n²) per row, and training pipelines build many chains
+/// (one per subsystem) whose rows are mostly never sampled, so paying at
+/// `build()` time would tax every fit for work only generation needs.
+#[derive(Debug)]
 pub struct MarkovChain {
     n_states: usize,
     /// Row-stochastic transition matrix, `transition[i][j] = P(j | i)`.
     transition: Vec<Vec<f64>>,
     /// Initial state distribution.
     initial: Vec<f64>,
+    /// Per-row cumulative sampling tables, aligned with `transition`,
+    /// built on first use (the table is a pure function of the row).
+    transition_cum: Vec<OnceLock<WeightedIndex>>,
+    /// Cumulative sampling table for `initial`.
+    initial_cum: OnceLock<WeightedIndex>,
+}
+
+impl Clone for MarkovChain {
+    fn clone(&self) -> Self {
+        // Carry over any already-built tables so a clone does not re-pay
+        // their construction; missing ones stay lazy.
+        let clone_cell = |cell: &OnceLock<WeightedIndex>| {
+            let out = OnceLock::new();
+            if let Some(table) = cell.get() {
+                let _ = out.set(table.clone());
+            }
+            out
+        };
+        MarkovChain {
+            n_states: self.n_states,
+            transition: self.transition.clone(),
+            initial: self.initial.clone(),
+            transition_cum: self.transition_cum.iter().map(clone_cell).collect(),
+            initial_cum: clone_cell(&self.initial_cum),
+        }
+    }
+}
+
+impl PartialEq for MarkovChain {
+    fn eq(&self, other: &Self) -> bool {
+        // The cumulative tables are derived data; chain identity is the
+        // distributions themselves.
+        self.n_states == other.n_states
+            && self.transition == other.transition
+            && self.initial == other.initial
+    }
 }
 
 /// Builder that accumulates transition counts and produces a
@@ -158,11 +206,7 @@ impl MarkovChainBuilder {
         } else {
             self.initial_counts.iter().map(|c| c / init_total).collect()
         };
-        Ok(MarkovChain {
-            n_states: n,
-            transition,
-            initial,
-        })
+        Ok(MarkovChain::assemble(transition, initial))
     }
 }
 
@@ -196,11 +240,26 @@ impl MarkovChain {
         if (init_sum - 1.0).abs() > 1e-9 {
             return Err(MarkovError::NotStochastic { row: usize::MAX, sum: init_sum });
         }
-        Ok(MarkovChain {
-            n_states: n,
+        Ok(MarkovChain::assemble(transition, initial))
+    }
+
+    /// Builds the chain from already-validated stochastic rows (every row
+    /// and `initial` sum to a positive total, so the deferred
+    /// `WeightedIndex` constructions cannot panic).
+    fn assemble(transition: Vec<Vec<f64>>, initial: Vec<f64>) -> Self {
+        let transition_cum = transition.iter().map(|_| OnceLock::new()).collect();
+        MarkovChain {
+            n_states: transition.len(),
             transition,
             initial,
-        })
+            transition_cum,
+            initial_cum: OnceLock::new(),
+        }
+    }
+
+    /// The cumulative table for one transition row, built on first use.
+    fn row_table(&self, row: usize) -> &WeightedIndex {
+        self.transition_cum[row].get_or_init(|| WeightedIndex::new(&self.transition[row]))
     }
 
     /// Number of states.
@@ -235,17 +294,20 @@ impl MarkovChain {
 
     /// Samples a start state from the initial distribution.
     pub fn sample_initial(&self, rng: &mut Rng64) -> usize {
-        rng.choose_weighted(&self.initial)
+        self.initial_cum
+            .get_or_init(|| WeightedIndex::new(&self.initial))
+            .sample(rng)
     }
 
-    /// Samples the successor of `current`.
+    /// Samples the successor of `current` — one uniform plus a binary
+    /// search over the row's precomputed cumulative table.
     ///
     /// # Panics
     ///
     /// Panics if `current` is out of range.
     pub fn next_state(&self, current: usize, rng: &mut Rng64) -> usize {
         assert!(current < self.n_states, "state out of range");
-        rng.choose_weighted(&self.transition[current])
+        self.row_table(current).sample(rng)
     }
 
     /// Generates a state sequence of length `len` starting from a sampled

@@ -8,7 +8,7 @@
 //! Both use the standard scaled forward–backward recursion, so sequences of
 //! hundreds of thousands of observations train without underflow.
 
-use kooza_sim::rng::Rng64;
+use kooza_sim::rng::{Rng64, WeightedIndex};
 
 use crate::{MarkovError, Result};
 
@@ -407,11 +407,16 @@ impl DiscreteHmm {
         if len == 0 {
             return (states, symbols);
         }
-        let mut s = rng.choose_weighted(&self.pi);
+        // Cumulative tables amortize the per-step linear CDF scans over the
+        // whole walk (bit-identical draws; see `WeightedIndex`).
+        let pi_cum = WeightedIndex::new(&self.pi);
+        let a_cum: Vec<WeightedIndex> = self.a.iter().map(|r| WeightedIndex::new(r)).collect();
+        let b_cum: Vec<WeightedIndex> = self.b.iter().map(|r| WeightedIndex::new(r)).collect();
+        let mut s = pi_cum.sample(rng);
         for _ in 0..len {
             states.push(s);
-            symbols.push(rng.choose_weighted(&self.b[s]));
-            s = rng.choose_weighted(&self.a[s]);
+            symbols.push(b_cum[s].sample(rng));
+            s = a_cum[s].sample(rng);
         }
         (states, symbols)
     }
@@ -626,14 +631,18 @@ impl GaussianHmm {
         if len == 0 {
             return (states, values);
         }
-        let mut s = rng.choose_weighted(&self.pi);
+        // Cumulative tables amortize the per-step linear CDF scans over the
+        // whole walk (bit-identical draws; see `WeightedIndex`).
+        let pi_cum = WeightedIndex::new(&self.pi);
+        let a_cum: Vec<WeightedIndex> = self.a.iter().map(|r| WeightedIndex::new(r)).collect();
+        let mut s = pi_cum.sample(rng);
         for _ in 0..len {
             states.push(s);
             let u1 = rng.next_f64_open();
             let u2 = rng.next_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             values.push(self.means[s] + self.vars[s].sqrt() * z);
-            s = rng.choose_weighted(&self.a[s]);
+            s = a_cum[s].sample(rng);
         }
         (states, values)
     }

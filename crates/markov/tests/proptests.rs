@@ -103,6 +103,86 @@ fn em_monotone() {
     });
 }
 
+/// The chain's binary-search sampling (precomputed cumulative rows) picks
+/// exactly the state the linear CDF scan (`Rng64::choose_weighted`) picks,
+/// drawing the same single uniform — for random stochastic rows.
+#[test]
+fn next_state_matches_linear_scan_random_rows() {
+    checker("next_state_matches_linear_scan_random_rows").run(
+        zip3(u64_range(0, 500), usize_range(1, 12), u64_range(0, 1000)),
+        |&(seed, n_states, draw_seed)| {
+            // Random row-stochastic matrix from raw positive weights.
+            let mut rng = Rng64::new(seed);
+            let matrix: Vec<Vec<f64>> = (0..n_states)
+                .map(|_| {
+                    let raw: Vec<f64> =
+                        (0..n_states).map(|_| rng.next_f64() + 1e-6).collect();
+                    let total: f64 = raw.iter().sum();
+                    raw.iter().map(|w| w / total).collect()
+                })
+                .collect();
+            let initial = vec![1.0 / n_states as f64; n_states];
+            let chain =
+                kooza_markov::MarkovChain::from_matrix(matrix, initial).unwrap();
+            let mut fast = Rng64::new(draw_seed);
+            let mut slow = fast.clone();
+            ensure_eq!(
+                chain.sample_initial(&mut fast),
+                slow.choose_weighted(chain.initial())
+            );
+            for step in 0..200 {
+                let s = step % n_states;
+                ensure_eq!(
+                    chain.next_state(s, &mut fast),
+                    slow.choose_weighted(chain.row(s))
+                );
+            }
+            // Identical uniform consumption: the streams stay in lockstep.
+            ensure_eq!(fast, slow);
+            Ok(())
+        },
+    );
+}
+
+/// Same equivalence on edge rows: all mass on one state, and rows with
+/// near-zero tails that stress the scan's floating-point slack handling.
+#[test]
+fn next_state_matches_linear_scan_edge_rows() {
+    checker("next_state_matches_linear_scan_edge_rows").run(
+        zip2(usize_range(0, 3), u64_range(0, 2000)),
+        |&(hot, draw_seed)| {
+            let n = 4usize;
+            let tail = 1e-15;
+            // Row 0..n-1: all mass on `hot` (delta rows). Last row: almost
+            // all mass on `hot` with near-zero tails on everyone else.
+            let mut matrix: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|j| f64::from(u8::from(j == hot))).collect())
+                .collect();
+            let mut tailed = vec![tail; n];
+            tailed[hot] = 1.0 - (n - 1) as f64 * tail;
+            matrix[n - 1] = tailed;
+            let mut initial = vec![0.0; n];
+            initial[hot] = 1.0;
+            let chain = kooza_markov::MarkovChain::from_matrix(matrix, initial).unwrap();
+            let mut fast = Rng64::new(draw_seed);
+            let mut slow = fast.clone();
+            ensure_eq!(
+                chain.sample_initial(&mut fast),
+                slow.choose_weighted(chain.initial())
+            );
+            for step in 0..400 {
+                let s = step % n;
+                ensure_eq!(
+                    chain.next_state(s, &mut fast),
+                    slow.choose_weighted(chain.row(s))
+                );
+            }
+            ensure_eq!(fast, slow);
+            Ok(())
+        },
+    );
+}
+
 /// Gaussian-HMM generation and scoring round-trip: the model assigns
 /// finite likelihood to everything it generates.
 #[test]

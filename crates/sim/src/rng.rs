@@ -187,6 +187,119 @@ impl Rng64 {
     }
 }
 
+/// A precomputed weighted-sampling table for repeated draws from the same
+/// weights: [`Rng64::choose_weighted`]'s per-call validation, summation and
+/// linear CDF scan are paid once at construction, and every draw is one
+/// uniform plus an O(log n) binary search.
+///
+/// The table is **bit-equivalent** to the linear scan: for any generator
+/// state, `WeightedIndex::new(w).sample(rng)` returns exactly the index
+/// `rng.choose_weighted(w)` would have, consuming the same single uniform.
+/// The equivalence is by construction, not by accident: the scan's chosen
+/// index is a monotone step function of the uniform `u`, and the table
+/// stores the exact `f64` step boundaries — computed by inverting the
+/// scan's own floating-point subtraction chain one subtraction at a time —
+/// so the binary search lands in the same step even at values where a
+/// naive prefix-sum comparison would round the other way.
+///
+/// ```
+/// use kooza_sim::rng::{Rng64, WeightedIndex};
+/// let weights = [0.2, 0.5, 0.3];
+/// let table = WeightedIndex::new(&weights);
+/// let (mut a, mut b) = (Rng64::new(7), Rng64::new(7));
+/// for _ in 0..100 {
+///     assert_eq!(table.sample(&mut a), b.choose_weighted(&weights));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    /// Sum of the weights, folded in slice order (the scan's scale factor).
+    total: f64,
+    /// `thresholds[i]` is the smallest scaled uniform that carries the
+    /// linear scan *past* index `i`; the sampled index for `u` is the
+    /// number of thresholds `<= u`. Non-decreasing, length `n - 1`.
+    thresholds: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the table for a slice of non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics exactly when [`Rng64::choose_weighted`] would: empty weights,
+    /// a negative or non-finite weight, or an all-zero sum.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "cannot choose from empty weights");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let mut thresholds = Vec::with_capacity(n.saturating_sub(1));
+        for i in 0..n - 1 {
+            // The scan passes index i iff its running remainder survives
+            // every subtraction up to and including w[i]. Invert that chain
+            // right-to-left: the remainder entering step i must be >= w[i],
+            // and the remainder entering step k must map, under the scan's
+            // own `fl(x - w[k])`, to at least the step-(k+1) requirement.
+            let mut t = weights[i];
+            for k in (0..i).rev() {
+                t = smallest_surviving(weights[k], t);
+            }
+            thresholds.push(t);
+        }
+        WeightedIndex { total, thresholds }
+    }
+
+    /// Number of weights the table was built from.
+    pub fn len(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+
+    /// Whether the table is empty (never: construction requires weights).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The weight sum the scan scales its uniform by.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Draws an index, consuming one uniform — bit-equivalent to
+    /// `rng.choose_weighted(weights)` on the same generator state.
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        self.index_for(rng.next_f64() * self.total)
+    }
+
+    /// The index the linear scan would pick for scaled uniform `u`.
+    fn index_for(&self, u: f64) -> usize {
+        self.thresholds.partition_point(|&t| t <= u)
+    }
+}
+
+/// Smallest `x >= 0` with `x - w >= t` under IEEE-754 round-to-nearest
+/// (`w`, `t` finite and non-negative). Starts from the rounded candidate
+/// `w + t` and walks the few ULPs to the exact boundary.
+fn smallest_surviving(w: f64, t: f64) -> f64 {
+    let mut x = w + t;
+    while x - w < t {
+        x = x.next_up();
+    }
+    loop {
+        let down = x.next_down();
+        if down >= 0.0 && down - w >= t {
+            x = down;
+        } else {
+            return x;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,5 +437,97 @@ mod tests {
     fn choose_empty_panics() {
         let empty: [u8; 0] = [];
         Rng64::new(0).choose(&empty);
+    }
+
+    /// Replica of the `choose_weighted` linear scan on an externally
+    /// supplied scaled uniform, for boundary-exact comparison.
+    fn linear_scan(weights: &[f64], mut u: f64) -> usize {
+        for (i, &w) in weights.iter().enumerate() {
+            if u < w {
+                return i;
+            }
+            u -= w;
+        }
+        weights.len() - 1
+    }
+
+    #[test]
+    fn weighted_index_matches_choose_weighted_streams() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1.0],
+            vec![0.0, 1.0, 3.0],
+            vec![0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1],
+            vec![1e-12, 0.5, 1e-12, 0.5],
+            vec![3.0, 0.0, 0.0, 2.0],
+            (1..=33).map(|i| 1.0 / i as f64).collect(),
+        ];
+        for (case, weights) in cases.iter().enumerate() {
+            let table = WeightedIndex::new(weights);
+            assert_eq!(table.len(), weights.len());
+            let mut a = Rng64::new(900 + case as u64);
+            let mut b = a.clone();
+            for _ in 0..5_000 {
+                assert_eq!(
+                    table.sample(&mut a),
+                    b.choose_weighted(weights),
+                    "case {case} diverged"
+                );
+            }
+            // Same number of uniforms consumed: the streams stay in step.
+            assert_eq!(a, b, "case {case} consumed differently");
+        }
+    }
+
+    #[test]
+    fn weighted_index_exact_at_step_boundaries() {
+        // The scan's index is a step function of u; the table stores the
+        // exact boundaries. Probe each boundary and its ULP neighbours —
+        // the values where a naive prefix-sum comparison can disagree.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+            vec![0.0, 0.7, 0.0, 0.3],
+            vec![1e-300, 1.0, 1e-300],
+            (0..16).map(|i| ((i * 2654435761u64) % 97) as f64 + 0.1).collect(),
+        ];
+        for weights in &cases {
+            let table = WeightedIndex::new(weights);
+            let probes: Vec<f64> = table
+                .thresholds
+                .iter()
+                .flat_map(|&t| [t.next_down(), t, t.next_up()])
+                .chain([0.0, table.total() * 0.5, table.total().next_down()])
+                .filter(|&u| u >= 0.0)
+                .collect();
+            for u in probes {
+                assert_eq!(
+                    table.index_for(u),
+                    linear_scan(weights, u),
+                    "weights {weights:?} diverge at u = {u:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_index_single_state_consumes_one_uniform() {
+        let table = WeightedIndex::new(&[2.5]);
+        let mut a = Rng64::new(1);
+        let mut b = a.clone();
+        assert_eq!(table.sample(&mut a), 0);
+        b.next_f64();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn weighted_index_rejects_zero_weights() {
+        WeightedIndex::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn weighted_index_rejects_empty() {
+        WeightedIndex::new(&[]);
     }
 }

@@ -36,7 +36,7 @@ impl Empirical {
         ensure_len(data, 1)?;
         ensure_finite(data)?;
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len() as f64;
         let mean = sorted.iter().sum::<f64>() / n;
         let variance = if sorted.len() < 2 {

@@ -8,22 +8,82 @@
 use crate::dist::{
     Distribution, Exponential, Gamma, LogNormal, Normal, Pareto, Uniform, Weibull,
 };
-use crate::ks::{ks_one_sample, KsTest};
+use crate::ks::{ks_one_sample_presorted, KsTest};
+use crate::sorted::SortedSample;
 use crate::special::digamma;
 use crate::{ensure_finite, ensure_len, Result, StatsError};
 
-fn mean_of(data: &[f64]) -> f64 {
-    data.iter().sum::<f64>() / data.len() as f64
+/// One-pass moment sums over a sample, shared by every fit estimator.
+///
+/// Σx, min/max, and — when the data are strictly positive — the per-point
+/// logs with their sum. [`FitPipeline::run`] computes this once and hands
+/// it to each candidate family, so the lognormal, Weibull and gamma fitters
+/// no longer re-walk and re-log the same data. All sums fold in input
+/// order, so estimates are bit-identical to the per-fitter passes they
+/// replace.
+#[derive(Debug, Clone)]
+pub struct SampleMoments {
+    n: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// `ln(x)` per point, in input order; `None` unless every x > 0.
+    logs: Option<Vec<f64>>,
+    sum_log: f64,
 }
 
-fn require_all_positive(data: &[f64]) -> Result<()> {
-    if data.iter().all(|&x| x > 0.0) {
-        Ok(())
-    } else {
-        Err(StatsError::InvalidInput(
-            "this family requires strictly positive data".into(),
-        ))
+impl SampleMoments {
+    /// Computes the shared sums in one pass over `data` (plus one log pass
+    /// when the data are strictly positive).
+    pub fn compute(data: &[f64]) -> Self {
+        let sum = data.iter().sum::<f64>();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let logs: Option<Vec<f64>> = if !data.is_empty() && data.iter().all(|&x| x > 0.0) {
+            Some(data.iter().map(|x| x.ln()).collect())
+        } else {
+            None
+        };
+        let sum_log = logs.as_deref().map_or(0.0, |l| l.iter().sum());
+        SampleMoments { n: data.len(), sum, min, max, logs, sum_log }
     }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean Σx / n.
+    pub fn mean(&self) -> f64 {
+        self.sum / self.n as f64
+    }
+
+    /// Smallest value.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Per-point logs in input order, if the data are strictly positive.
+    pub fn logs(&self) -> Option<&[f64]> {
+        self.logs.as_deref()
+    }
+
+    /// Mean of the logs Σln x / n, if the data are strictly positive.
+    pub fn mean_log(&self) -> Option<f64> {
+        self.logs.as_ref().map(|_| self.sum_log / self.n as f64)
+    }
+}
+
+/// The positive-support families share this rejection.
+fn logs_or_reject(m: &SampleMoments) -> Result<&[f64]> {
+    m.logs().ok_or_else(|| {
+        StatsError::InvalidInput("this family requires strictly positive data".into())
+    })
 }
 
 /// MLE fit of an exponential distribution (`rate = 1 / mean`).
@@ -34,7 +94,12 @@ fn require_all_positive(data: &[f64]) -> Result<()> {
 pub fn fit_exponential(data: &[f64]) -> Result<Exponential> {
     ensure_len(data, 1)?;
     ensure_finite(data)?;
-    let mean = mean_of(data);
+    fit_exponential_with(data, &SampleMoments::compute(data))
+}
+
+fn fit_exponential_with(data: &[f64], m: &SampleMoments) -> Result<Exponential> {
+    ensure_len(data, 1)?;
+    let mean = m.mean();
     if mean <= 0.0 {
         return Err(StatsError::InvalidInput("exponential fit needs positive mean".into()));
     }
@@ -49,7 +114,12 @@ pub fn fit_exponential(data: &[f64]) -> Result<Exponential> {
 pub fn fit_normal(data: &[f64]) -> Result<Normal> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
-    let mu = mean_of(data);
+    fit_normal_with(data, &SampleMoments::compute(data))
+}
+
+fn fit_normal_with(data: &[f64], m: &SampleMoments) -> Result<Normal> {
+    ensure_len(data, 2)?;
+    let mu = m.mean();
     let var = data.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / data.len() as f64;
     Normal::new(mu, var.sqrt())
 }
@@ -62,9 +132,13 @@ pub fn fit_normal(data: &[f64]) -> Result<Normal> {
 pub fn fit_lognormal(data: &[f64]) -> Result<LogNormal> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
-    require_all_positive(data)?;
-    let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
-    let mu = mean_of(&logs);
+    fit_lognormal_with(data, &SampleMoments::compute(data))
+}
+
+fn fit_lognormal_with(data: &[f64], m: &SampleMoments) -> Result<LogNormal> {
+    ensure_len(data, 2)?;
+    let logs = logs_or_reject(m)?;
+    let mu = m.mean_log().expect("logs present");
     let var = logs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / logs.len() as f64;
     LogNormal::new(mu, var.sqrt())
 }
@@ -78,8 +152,13 @@ pub fn fit_lognormal(data: &[f64]) -> Result<LogNormal> {
 pub fn fit_pareto(data: &[f64]) -> Result<Pareto> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
-    require_all_positive(data)?;
-    let xm = data.iter().cloned().fold(f64::INFINITY, f64::min);
+    fit_pareto_with(data, &SampleMoments::compute(data))
+}
+
+fn fit_pareto_with(data: &[f64], m: &SampleMoments) -> Result<Pareto> {
+    ensure_len(data, 2)?;
+    logs_or_reject(m)?;
+    let xm = m.min();
     let sum_log: f64 = data.iter().map(|&x| (x / xm).ln()).sum();
     if sum_log <= 0.0 {
         return Err(StatsError::InvalidInput("pareto fit needs non-degenerate data".into()));
@@ -96,10 +175,14 @@ pub fn fit_pareto(data: &[f64]) -> Result<Pareto> {
 pub fn fit_weibull(data: &[f64]) -> Result<Weibull> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
-    require_all_positive(data)?;
+    fit_weibull_with(data, &SampleMoments::compute(data))
+}
+
+fn fit_weibull_with(data: &[f64], m: &SampleMoments) -> Result<Weibull> {
+    ensure_len(data, 2)?;
+    let logs = logs_or_reject(m)?;
     let n = data.len() as f64;
-    let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
-    let mean_log = mean_of(&logs);
+    let mean_log = m.mean_log().expect("logs present");
     // Initial guess from the method of moments on logs:
     // Var(ln X) = π²/(6k²) for Weibull.
     let var_log = logs.iter().map(|x| (x - mean_log).powi(2)).sum::<f64>() / n;
@@ -113,7 +196,7 @@ pub fn fit_weibull(data: &[f64]) -> Result<Weibull> {
         let mut s0 = 0.0;
         let mut s1 = 0.0;
         let mut s2 = 0.0;
-        for (&x, &lx) in data.iter().zip(&logs) {
+        for (&x, &lx) in data.iter().zip(logs) {
             let xk = x.powf(k);
             s0 += xk;
             s1 += xk * lx;
@@ -145,9 +228,14 @@ pub fn fit_weibull(data: &[f64]) -> Result<Weibull> {
 pub fn fit_gamma(data: &[f64]) -> Result<Gamma> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
-    require_all_positive(data)?;
-    let mean = mean_of(data);
-    let mean_log = data.iter().map(|x| x.ln()).sum::<f64>() / data.len() as f64;
+    fit_gamma_with(data, &SampleMoments::compute(data))
+}
+
+fn fit_gamma_with(data: &[f64], m: &SampleMoments) -> Result<Gamma> {
+    ensure_len(data, 2)?;
+    logs_or_reject(m)?;
+    let mean = m.mean();
+    let mean_log = m.mean_log().expect("logs present");
     let s = mean.ln() - mean_log;
     if s <= 0.0 {
         return Err(StatsError::InvalidInput("gamma fit needs non-degenerate data".into()));
@@ -183,8 +271,15 @@ pub fn fit_gamma(data: &[f64]) -> Result<Gamma> {
 pub fn fit_uniform(data: &[f64]) -> Result<Uniform> {
     ensure_len(data, 2)?;
     ensure_finite(data)?;
-    let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    fit_uniform_with(&SampleMoments::compute(data))
+}
+
+fn fit_uniform_with(m: &SampleMoments) -> Result<Uniform> {
+    if m.n() < 2 {
+        return Err(StatsError::InsufficientData { needed: 2, got: m.n() });
+    }
+    let lo = m.min();
+    let hi = m.max();
     let width = hi - lo;
     if width <= 0.0 {
         return Err(StatsError::InvalidInput("uniform fit needs non-constant data".into()));
@@ -228,10 +323,17 @@ impl FitReport {
     pub fn family(&self, name: &str) -> Option<&FitEntry> {
         self.entries.iter().find(|e| e.family == name)
     }
+
+    /// Consumes the report, returning the winning entry by value — so a
+    /// caller can keep the fitted distribution without re-fitting it.
+    pub fn into_best(self) -> FitEntry {
+        self.entries.into_iter().next().expect("FitReport is never empty")
+    }
 }
 
 /// Which families a [`FitPipeline`] tries: name, fitter, free parameters.
-type Fitter = fn(&[f64]) -> Result<Box<dyn Distribution>>;
+/// Fitters take the raw data plus the pipeline's shared [`SampleMoments`].
+type Fitter = fn(&[f64], &SampleMoments) -> Result<Box<dyn Distribution>>;
 type Candidate = (&'static str, Fitter, usize);
 
 fn boxed<D: Distribution + 'static>(r: Result<D>) -> Result<Box<dyn Distribution>> {
@@ -264,13 +366,13 @@ impl FitPipeline {
     pub fn standard() -> Self {
         FitPipeline {
             candidates: vec![
-                ("exponential", |d| boxed(fit_exponential(d)), 1),
-                ("lognormal", |d| boxed(fit_lognormal(d)), 2),
-                ("pareto", |d| boxed(fit_pareto(d)), 2),
-                ("weibull", |d| boxed(fit_weibull(d)), 2),
-                ("gamma", |d| boxed(fit_gamma(d)), 2),
-                ("normal", |d| boxed(fit_normal(d)), 2),
-                ("uniform", |d| boxed(fit_uniform(d)), 2),
+                ("exponential", |d, m| boxed(fit_exponential_with(d, m)), 1),
+                ("lognormal", |d, m| boxed(fit_lognormal_with(d, m)), 2),
+                ("pareto", |d, m| boxed(fit_pareto_with(d, m)), 2),
+                ("weibull", |d, m| boxed(fit_weibull_with(d, m)), 2),
+                ("gamma", |d, m| boxed(fit_gamma_with(d, m)), 2),
+                ("normal", |d, m| boxed(fit_normal_with(d, m)), 2),
+                ("uniform", |_, m| boxed(fit_uniform_with(m)), 2),
             ],
         }
     }
@@ -281,10 +383,10 @@ impl FitPipeline {
     pub fn timing() -> Self {
         FitPipeline {
             candidates: vec![
-                ("exponential", |d| boxed(fit_exponential(d)), 1),
-                ("lognormal", |d| boxed(fit_lognormal(d)), 2),
-                ("pareto", |d| boxed(fit_pareto(d)), 2),
-                ("weibull", |d| boxed(fit_weibull(d)), 2),
+                ("exponential", |d, m| boxed(fit_exponential_with(d, m)), 1),
+                ("lognormal", |d, m| boxed(fit_lognormal_with(d, m)), 2),
+                ("pareto", |d, m| boxed(fit_pareto_with(d, m)), 2),
+                ("weibull", |d, m| boxed(fit_weibull_with(d, m)), 2),
             ],
         }
     }
@@ -305,12 +407,14 @@ impl FitPipeline {
     pub fn run(&self, data: &[f64]) -> Result<FitReport> {
         ensure_len(data, 2)?;
         ensure_finite(data)?;
+        // One moment pass and one sort, shared by every candidate: the KS
+        // ranking loop is O(k·n) instead of k sorts of the same data.
+        let moments = SampleMoments::compute(data);
+        let sorted = SortedSample::from_validated(data.to_vec());
         let mut entries = Vec::new();
         for &(name, fitter, n_params) in &self.candidates {
-            let Ok(dist) = fitter(data) else { continue };
-            let Ok(ks) = ks_one_sample(data, dist.as_ref()) else {
-                continue;
-            };
+            let Ok(dist) = fitter(data, &moments) else { continue };
+            let ks = ks_one_sample_presorted(&sorted, dist.as_ref());
             let mean_log_likelihood = dist.mean_log_likelihood(data);
             entries.push(FitEntry {
                 family: name,
@@ -323,7 +427,7 @@ impl FitPipeline {
         if entries.is_empty() {
             return Err(StatsError::InvalidInput("no candidate family fit the data".into()));
         }
-        entries.sort_by(|a, b| a.ks.statistic.partial_cmp(&b.ks.statistic).unwrap());
+        entries.sort_by(|a, b| a.ks.statistic.total_cmp(&b.ks.statistic));
         // Parsimony: pull the simplest near-tied family to the front. Two KS
         // statistics closer than the sampling noise floor (~0.6/√n) are
         // statistically indistinguishable, so the extra parameter buys

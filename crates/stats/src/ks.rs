@@ -5,6 +5,7 @@
 //! [`crate::fit`] ranks candidate families with the one-sample test here.
 
 use crate::dist::Distribution;
+use crate::sorted::SortedSample;
 use crate::{ensure_finite, ensure_len, Result};
 
 /// Result of a Kolmogorov–Smirnov test.
@@ -67,7 +68,20 @@ pub fn ks_one_sample(data: &[f64], reference: &dyn Distribution) -> Result<KsTes
     ensure_len(data, 1)?;
     ensure_finite(data)?;
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
+    Ok(one_sample_sorted(&sorted, reference))
+}
+
+/// One-sample KS test against an already-sorted sample.
+///
+/// The sort- and validation-free variant of [`ks_one_sample`] for callers
+/// that test one sample against many references (the fitting pipeline runs
+/// this once per candidate family over a single [`SortedSample`]).
+pub fn ks_one_sample_presorted(sample: &SortedSample, reference: &dyn Distribution) -> KsTest {
+    one_sample_sorted(sample.values(), reference)
+}
+
+fn one_sample_sorted(sorted: &[f64], reference: &dyn Distribution) -> KsTest {
     let n = sorted.len() as f64;
     let mut d_max: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {
@@ -79,11 +93,11 @@ pub fn ks_one_sample(data: &[f64], reference: &dyn Distribution) -> Result<KsTes
     // Stephens' correction for finite n.
     let sqrt_n = n.sqrt();
     let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d_max;
-    Ok(KsTest {
+    KsTest {
         statistic: d_max,
         p_value: kolmogorov_q(lambda),
         n_effective: n,
-    })
+    }
 }
 
 /// Two-sample KS test: are `a` and `b` drawn from the same distribution?
@@ -98,8 +112,18 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<KsTest> {
     ensure_finite(b)?;
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    Ok(two_sample_sorted(&sa, &sb))
+}
+
+/// Two-sample KS test over already-sorted samples — the sort- and
+/// validation-free variant of [`ks_two_sample`].
+pub fn ks_two_sample_presorted(a: &SortedSample, b: &SortedSample) -> KsTest {
+    two_sample_sorted(a.values(), b.values())
+}
+
+fn two_sample_sorted(sa: &[f64], sb: &[f64]) -> KsTest {
     let (na, nb) = (sa.len() as f64, sb.len() as f64);
     let (mut i, mut j) = (0usize, 0usize);
     let mut d_max: f64 = 0.0;
@@ -120,11 +144,11 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<KsTest> {
     let ne = na * nb / (na + nb);
     let sqrt_ne = ne.sqrt();
     let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d_max;
-    Ok(KsTest {
+    KsTest {
         statistic: d_max,
         p_value: kolmogorov_q(lambda),
         n_effective: ne,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,8 @@
 //!   the methodology of Feitelson's workload-modeling survey.
 //! * [`ks`] — one- and two-sample Kolmogorov–Smirnov tests.
 //! * [`ad`] — the Anderson–Darling test (tail-sensitive second opinion).
+//! * [`sorted`] — sort-once sample views shared by the `*_presorted` test
+//!   variants and the fitting pipeline's candidate loop.
 //! * [`acf`] — autocorrelation analysis and ACF-matching synthesis (Li's
 //!   two-phase synthetic-workload generation).
 //! * [`hurst`] — self-similarity (Hurst exponent) estimation via rescaled
@@ -52,6 +54,7 @@ pub mod ks;
 pub mod matrix;
 pub mod pca;
 pub mod regression;
+pub mod sorted;
 pub mod special;
 pub mod summary;
 

@@ -10,8 +10,15 @@ use kooza_stats::dist::{
     DiscreteDistribution, Distribution, Exponential, Gamma, Geometric, LogNormal, Normal, Pareto,
     Poisson, Uniform, Weibull, Zipf,
 };
-use kooza_stats::fit::{fit_exponential, fit_lognormal, fit_normal, fit_pareto};
+use kooza_stats::ad::{ad_one_sample, ad_one_sample_presorted};
+use kooza_stats::fit::{
+    fit_exponential, fit_lognormal, fit_normal, fit_pareto, fit_weibull, FitPipeline,
+};
 use kooza_stats::histogram::{Histogram, VuList};
+use kooza_stats::ks::{
+    ks_one_sample, ks_one_sample_presorted, ks_two_sample, ks_two_sample_presorted,
+};
+use kooza_stats::sorted::SortedSample;
 use kooza_stats::matrix::Matrix;
 use kooza_stats::special::{gamma_p, gamma_q, ln_gamma, normal_cdf, normal_quantile};
 
@@ -69,6 +76,65 @@ fn mle_recovers_parameters() {
             let data: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
             let fit = fit_pareto(&data).unwrap();
             ensure!((fit.alpha() - alpha).abs() / alpha < 0.15, "alpha {}", fit.alpha());
+            Ok(())
+        },
+    );
+}
+
+/// The `*_presorted` KS/AD variants over a shared [`SortedSample`] return
+/// bit-identical results to the sort-per-call originals, for arbitrary
+/// sample sizes and shapes.
+#[test]
+fn presorted_tests_bit_identical() {
+    checker("presorted_tests_bit_identical").run(
+        zip3(u64_range(0, 500), f64_range(0.2, 5.0), u64_range(2, 400)),
+        |&(seed, shape, n)| {
+            let d = Weibull::new(shape, 1.0).unwrap();
+            let mut rng = Rng64::new(seed);
+            let a: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            let b: Vec<f64> = (0..n + 3).map(|_| d.sample(&mut rng)).collect();
+            let sa = SortedSample::new(&a).unwrap();
+            let sb = SortedSample::new(&b).unwrap();
+            let reference = Exponential::new(1.0).unwrap();
+            ensure_eq!(
+                ks_one_sample(&a, &reference).unwrap(),
+                ks_one_sample_presorted(&sa, &reference)
+            );
+            ensure_eq!(
+                ks_two_sample(&a, &b).unwrap(),
+                ks_two_sample_presorted(&sa, &sb)
+            );
+            ensure_eq!(
+                ad_one_sample(&a, &reference).unwrap(),
+                ad_one_sample_presorted(&sa, &reference).unwrap()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The pipeline's shared-moments + shared-sort candidate loop produces the
+/// same fits and KS statistics as running each standalone fitter and a
+/// fresh KS test per family.
+#[test]
+fn pipeline_shared_moments_match_standalone_fits() {
+    checker("pipeline_shared_moments_match_standalone_fits").cases(48).run(
+        zip2(u64_range(0, 300), f64_range(0.3, 1.2)),
+        |&(seed, sigma)| {
+            let d = LogNormal::new(0.0, sigma).unwrap();
+            let mut rng = Rng64::new(seed);
+            let data: Vec<f64> = (0..600).map(|_| d.sample(&mut rng)).collect();
+            let report = FitPipeline::timing().run(&data).unwrap();
+            for entry in report.entries() {
+                let standalone: Box<dyn Distribution> = match entry.family {
+                    "exponential" => Box::new(fit_exponential(&data).unwrap()),
+                    "lognormal" => Box::new(fit_lognormal(&data).unwrap()),
+                    "pareto" => Box::new(fit_pareto(&data).unwrap()),
+                    "weibull" => Box::new(fit_weibull(&data).unwrap()),
+                    _ => continue,
+                };
+                ensure_eq!(entry.ks, ks_one_sample(&data, standalone.as_ref()).unwrap());
+            }
             Ok(())
         },
     );

@@ -40,7 +40,7 @@ echo "== lint gate: clippy clean at -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== benchmarks compile and smoke-run =="
-cargo bench --offline -p kooza-bench --bench micro -- --test >/dev/null
+cargo bench --offline -p kooza-bench --bench micro -- --mode smoke >/dev/null
 
 echo "== thread-count determinism: tables identical at KOOZA_THREADS=8 =="
 # The test itself sweeps 1/2/8 via the thread override; running it under
