@@ -43,18 +43,42 @@ pub struct BenchResult {
     pub p95_nanos: f64,
     /// Mean over samples.
     pub mean_nanos: f64,
+    /// Bytes processed per iteration, for throughput benches
+    /// ([`Harness::bench_throughput`]); `None` for plain timing benches.
+    pub bytes: Option<u64>,
+}
+
+impl BenchResult {
+    /// Median throughput in MB/s (decimal megabytes), if this is a
+    /// throughput benchmark.
+    pub fn mb_per_sec(&self) -> Option<f64> {
+        let bytes = self.bytes?;
+        if self.median_nanos <= 0.0 {
+            return None;
+        }
+        // bytes/ns → MB/s: multiply by 1e9 (ns→s), divide by 1e6 (B→MB).
+        Some(bytes as f64 * 1_000.0 / self.median_nanos)
+    }
 }
 
 impl ToJson for BenchResult {
     fn to_json(&self) -> Json {
-        Json::Object(vec![
+        let mut fields = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("samples".into(), Json::U64(self.samples as u64)),
             ("min_nanos".into(), Json::F64(self.min_nanos)),
             ("median_nanos".into(), Json::F64(self.median_nanos)),
             ("p95_nanos".into(), Json::F64(self.p95_nanos)),
             ("mean_nanos".into(), Json::F64(self.mean_nanos)),
-        ])
+        ];
+        if let Some(bytes) = self.bytes {
+            fields.push(("bytes".into(), Json::U64(bytes)));
+            fields.push((
+                "mb_per_sec".into(),
+                self.mb_per_sec().map(Json::F64).unwrap_or(Json::Null),
+            ));
+        }
+        Json::Object(fields)
     }
 }
 
@@ -158,6 +182,17 @@ impl Harness {
     /// must call [`Bencher::iter`] or [`Bencher::iter_batched`] exactly
     /// once, mirroring criterion's `bench_function` contract.
     pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        self.run_bench(name, None, f);
+    }
+
+    /// Like [`Harness::bench_function`], but tags the result with the
+    /// number of bytes each iteration processes, so the report carries a
+    /// derived MB/s figure (the unit ingest benches are compared in).
+    pub fn bench_throughput(&mut self, name: &str, bytes: u64, f: impl FnOnce(&mut Bencher)) {
+        self.run_bench(name, Some(bytes), f);
+    }
+
+    fn run_bench(&mut self, name: &str, bytes: Option<u64>, f: impl FnOnce(&mut Bencher)) {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
                 return;
@@ -186,9 +221,14 @@ impl Harness {
             median_nanos,
             p95_nanos,
             mean_nanos,
+            bytes,
         };
+        let throughput = result
+            .mb_per_sec()
+            .map(|mbps| format!("  {mbps:>8.1} MB/s"))
+            .unwrap_or_default();
         println!(
-            "{:<32} median {:>14}  p95 {:>14}  ({} samples)",
+            "{:<32} median {:>14}  p95 {:>14}  ({} samples){throughput}",
             result.name,
             fmt_nanos(result.median_nanos),
             fmt_nanos(result.p95_nanos),
@@ -427,6 +467,7 @@ mod tests {
             median_nanos,
             p95_nanos: median_nanos * 1.5,
             mean_nanos: median_nanos,
+            bytes: None,
         }
     }
 
@@ -443,6 +484,7 @@ mod tests {
                 median_nanos: 2.0,
                 p95_nanos: 3.0,
                 mean_nanos: 2.0,
+                bytes: None,
             }],
         };
         let json = harness.report_json();
@@ -515,6 +557,35 @@ mod tests {
     }
 
     #[test]
+    fn throughput_results_carry_mb_per_sec() {
+        let r = BenchResult {
+            name: "ingest".into(),
+            samples: 3,
+            min_nanos: 1_000.0,
+            median_nanos: 2_000.0,
+            p95_nanos: 3_000.0,
+            mean_nanos: 2_000.0,
+            bytes: Some(1_000_000),
+        };
+        // 1 MB per iteration at 2 µs median = 500k MB/s.
+        assert_eq!(r.mb_per_sec(), Some(500_000.0));
+        let s = kooza_json::to_string(&r.to_json());
+        assert!(s.contains("\"bytes\":1000000"), "{s}");
+        assert!(s.contains("\"mb_per_sec\":500000"), "{s}");
+
+        // Plain timing benches neither compute nor serialize throughput.
+        let plain = BenchResult { bytes: None, ..r };
+        assert_eq!(plain.mb_per_sec(), None);
+        let s = kooza_json::to_string(&plain.to_json());
+        assert!(!s.contains("mb_per_sec"), "{s}");
+
+        let mut h = Harness { full: false, filter: None, baseline: None, results: vec![] };
+        h.bench_throughput("tp", 4096, |b| b.iter(|| std::hint::black_box(1 + 1)));
+        assert_eq!(h.results.len(), 1);
+        assert_eq!(h.results[0].bytes, Some(4096));
+    }
+
+    #[test]
     fn results_serialize_to_json() {
         let r = BenchResult {
             name: "demo".into(),
@@ -523,6 +594,7 @@ mod tests {
             median_nanos: 2.0,
             p95_nanos: 3.0,
             mean_nanos: 2.0,
+            bytes: None,
         };
         let s = kooza_json::to_string(&r.to_json());
         assert!(s.starts_with("{\"name\":\"demo\",\"samples\":3,"), "{s}");

@@ -15,7 +15,6 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
-use std::fs::File;
 use std::path::Path;
 
 use kooza::class::assemble_observations;
@@ -25,7 +24,7 @@ use kooza::{fault_drift, InBreadthModel, InDepthModel, Kooza, ReplayConfig, Work
 use kooza_gfs::{Cluster, ClusterConfig, FaultSpec, WorkloadMix};
 use kooza_sim::rng::Rng64;
 use kooza_trace::characterize::{arrival_profile, cpu_profile, memory_profile, storage_profile};
-use kooza_trace::TraceSet;
+use kooza_trace::{TraceFormat, TraceSet};
 
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
@@ -34,7 +33,7 @@ usage: kooza <command> [options]
 commands:
   simulate     --out <path> [--requests N] [--seed S] [--workload read|write|mixed]
                [--servers K] [--consult-master] [--faults <spec>]
-               run the GFS simulator and write a JSONL trace
+               run the GFS simulator and write a trace (JSONL or KTC)
   characterize --trace <path>
                per-subsystem workload profiles of a trace
   fit          --trace <path>
@@ -50,6 +49,9 @@ commands:
                score kooza vs in-breadth vs in-depth on this trace (Table 1)
                (with --faults <spec>: train on an internally simulated
                fault-injected trace instead of --trace)
+  trace convert --in <path> --out <path> [--in-format jsonl|ktc]
+               [--out-format jsonl|ktc]
+               convert a trace between JSONL text and KTC binary columnar
   obs          --report <path> [--strip]
                pretty-print an observability report written by --obs
                (--strip instead emits the deterministic JSONL subset:
@@ -65,6 +67,11 @@ fault spec (comma-separated key=value; all keys optional):
   retries      max client retries before a request fails
   batch/detect re-replication batch size / failure-detection delay (secs)
   seed         fault-plan RNG stream (independent of the workload seed)
+
+trace formats (any command reading --trace or writing --out):
+  --format     jsonl|ktc; when omitted, a .ktc extension selects KTC,
+               otherwise reads sniff the KTC magic bytes (falling back to
+               JSONL) and writes default to JSONL
 
 global options (accepted by every command):
   --threads N  worker threads for the parallel pipeline stages; results
@@ -152,6 +159,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if matches!(command.as_str(), "help" | "--help" | "-h") {
         return Ok(USAGE.to_string());
     }
+    // `trace` takes a positional subcommand before its options.
+    let (command, rest) = if command == "trace" {
+        let (sub, rest) = rest
+            .split_first()
+            .ok_or_else(|| err("trace needs a subcommand (try `kooza trace convert`)"))?;
+        (format!("trace {sub}"), rest)
+    } else {
+        (command.clone(), rest)
+    };
     let opts = Options::parse(rest)?;
     if let Some(v) = opts.get("threads") {
         let n: usize = v
@@ -175,6 +191,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "fit" => fit(&opts),
         "validate" => validate_cmd(&opts),
         "crossexam" => crossexam(&opts),
+        "trace convert" => trace_convert(&opts),
         "obs" => obs_cmd(&opts),
         other => Err(err(format!("unknown command `{other}`"))),
     };
@@ -221,12 +238,43 @@ fn parse_faults(opts: &Options) -> Result<Option<FaultSpec>, CliError> {
         .transpose()
 }
 
+/// Parses a `--format`-style option into a trace format; `None` when the
+/// option is absent (callers fall back to extension/content detection).
+fn parse_format(opts: &Options, key: &str) -> Result<Option<TraceFormat>, CliError> {
+    opts.get(key)
+        .map(|v| {
+            TraceFormat::from_name(v)
+                .ok_or_else(|| err(format!("--{key} must be jsonl|ktc, got `{v}`")))
+        })
+        .transpose()
+}
+
 fn load_trace(opts: &Options) -> Result<(TraceSet, String), CliError> {
     let path = opts.require("trace")?;
-    let file = File::open(path).map_err(|e| err(format!("cannot open {path}: {e}")))?;
-    let trace =
-        TraceSet::read_jsonl(file).map_err(|e| err(format!("cannot parse {path}: {e}")))?;
+    let format = parse_format(opts, "format")?;
+    let trace = TraceSet::read_file(Path::new(path), format)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
     Ok((trace, path.to_string()))
+}
+
+/// `kooza trace convert`: re-encode a trace between JSONL and KTC.
+fn trace_convert(opts: &Options) -> Result<String, CliError> {
+    let input = opts.require("in")?;
+    let output = opts.require("out")?;
+    let in_format = parse_format(opts, "in-format")?;
+    let out_format = parse_format(opts, "out-format")?;
+    let trace = TraceSet::read_file(Path::new(input), in_format)
+        .map_err(|e| err(format!("cannot read {input}: {e}")))?;
+    let resolved = out_format
+        .or_else(|| TraceFormat::from_extension(Path::new(output)))
+        .unwrap_or(TraceFormat::Jsonl);
+    trace
+        .write_file(Path::new(output), Some(resolved))
+        .map_err(|e| err(format!("cannot write {output}: {e}")))?;
+    Ok(format!(
+        "converted {} records: {input} -> {output} ({resolved})",
+        trace.len()
+    ))
 }
 
 fn simulate(opts: &Options) -> Result<String, CliError> {
@@ -247,10 +295,10 @@ fn simulate(opts: &Options) -> Result<String, CliError> {
     let mut cluster = Cluster::new(&config).map_err(|e| err(e.to_string()))?;
     let outcome = cluster.run(requests, seed);
 
-    let file = File::create(out).map_err(|e| err(format!("cannot create {out}: {e}")))?;
+    let format = parse_format(opts, "format")?;
     outcome
         .trace
-        .write_jsonl(file)
+        .write_file(Path::new(out), format)
         .map_err(|e| err(format!("cannot write {out}: {e}")))?;
     let mut report = format!(
         "simulated {} requests on {} server(s) (seed {seed})\n\
@@ -562,6 +610,62 @@ mod tests {
         assert!(run(&args("simulate --requests")).is_err()); // value missing
         assert!(run(&args("simulate --out /tmp/x --requests abc")).is_err());
         assert!(run(&args("simulate stray")).is_err());
+        assert!(run(&args("simulate --out /tmp/x --format nope")).is_err());
+        assert!(run(&args("trace")).is_err()); // missing subcommand
+        assert!(run(&args("trace frobnicate")).is_err());
+        assert!(run(&args("trace convert --in /tmp/x")).is_err()); // missing --out
+    }
+
+    #[test]
+    fn ktc_format_through_the_cli() {
+        let jsonl = temp_path("ktc-src");
+        let ktc = format!("{}.ktc", temp_path("ktc-bin"));
+
+        // Simulate to JSONL (default), convert to KTC by extension.
+        run(&args(&format!("simulate --out {jsonl} --requests 400 --seed 17"))).unwrap();
+        let out =
+            run(&args(&format!("trace convert --in {jsonl} --out {ktc}"))).unwrap();
+        assert!(out.contains("(ktc)"), "{out}");
+        let bytes = std::fs::read(&ktc).unwrap();
+        assert_eq!(&bytes[..4], b"KTC1");
+        assert!(bytes.len() < std::fs::metadata(&jsonl).unwrap().len() as usize);
+
+        // Every trace-consuming command accepts the KTC file directly.
+        let fit_jsonl = run(&args(&format!("fit --trace {jsonl}"))).unwrap();
+        let fit_ktc = run(&args(&format!("fit --trace {ktc}"))).unwrap();
+        assert_eq!(fit_jsonl.replace(&jsonl, "T"), fit_ktc.replace(&ktc, "T"));
+        let out = run(&args(&format!("characterize --trace {ktc}"))).unwrap();
+        assert!(out.contains("storage"), "{out}");
+
+        // Round trip back to JSONL reproduces the original bytes exactly
+        // (both writers are canonical).
+        let back = temp_path("ktc-back");
+        run(&args(&format!(
+            "trace convert --in {ktc} --out {back} --out-format jsonl"
+        )))
+        .unwrap();
+        assert_eq!(std::fs::read(&jsonl).unwrap(), std::fs::read(&back).unwrap());
+
+        cleanup(&jsonl);
+        cleanup(&ktc);
+        cleanup(&back);
+    }
+
+    #[test]
+    fn simulate_writes_ktc_with_explicit_format_and_sniffing_reads_it() {
+        // `--format ktc` wins over the .jsonl extension temp_path bakes in;
+        // the reader then identifies the file by magic, not name.
+        let path = temp_path("ktc-direct");
+        let out = run(&args(&format!(
+            "simulate --out {path} --requests 300 --seed 23 --format ktc"
+        )))
+        .unwrap();
+        assert!(out.contains("simulated 300 requests"), "{out}");
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..4], b"KTC1");
+        let out = run(&args(&format!("validate --trace {path} --n 200 --seed 2"))).unwrap();
+        assert!(out.contains("max feature variation"), "{out}");
+        cleanup(&path);
     }
 
     #[test]

@@ -18,11 +18,15 @@
 //! * [`view`] — zero-copy borrowed views ([`TraceView`](view::TraceView))
 //!   and per-shard grouping ([`ShardedTrace`](view::ShardedTrace)) so
 //!   parallel consumers share one owned trace instead of cloning it.
+//! * [`ktc`] — the KTC binary columnar format ([`KtcReader`](ktc::KtcReader),
+//!   [`KtcWriter`](ktc::KtcWriter)) for traces too large for JSONL text,
+//!   with JSONL kept as the golden round-trip oracle.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod characterize;
+pub mod ktc;
 pub mod profile;
 pub mod record;
 pub mod sampler;
@@ -30,6 +34,7 @@ pub mod span;
 pub mod store;
 pub mod view;
 
+pub use ktc::{KtcBlock, KtcReader, KtcWriter, TraceFormat};
 pub use record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
 pub use span::{Span, SpanCollector, SpanId, TraceId, TraceTree};
 pub use store::TraceSet;
@@ -51,6 +56,30 @@ pub enum TraceError {
     MalformedTree(String),
     /// An operation needed data the trace does not contain.
     Empty(&'static str),
+    /// A binary trace stream did not start with the KTC magic bytes.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// A KTC stream was written by a container version this build does
+    /// not understand.
+    UnsupportedVersion(u16),
+    /// A KTC stream ended mid-structure (cut-short block, missing end
+    /// marker).
+    Truncated {
+        /// Absolute byte offset where data ran out.
+        offset: u64,
+        /// The structure being decoded when the stream ended.
+        while_reading: &'static str,
+    },
+    /// A KTC stream violated the format (bad tag, over-long varint,
+    /// out-of-range intern index, trailing bytes, ...).
+    Corrupt {
+        /// Absolute byte offset of the violation.
+        offset: u64,
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -62,6 +91,18 @@ impl std::fmt::Display for TraceError {
             }
             TraceError::MalformedTree(msg) => write!(f, "malformed span tree: {msg}"),
             TraceError::Empty(what) => write!(f, "trace contains no {what}"),
+            TraceError::BadMagic { found } => {
+                write!(f, "not a KTC trace: bad magic {found:?}")
+            }
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported KTC container version {v}")
+            }
+            TraceError::Truncated { offset, while_reading } => {
+                write!(f, "truncated KTC stream at byte {offset} while reading {while_reading}")
+            }
+            TraceError::Corrupt { offset, message } => {
+                write!(f, "corrupt KTC stream at byte {offset}: {message}")
+            }
         }
     }
 }

@@ -202,12 +202,22 @@ impl TraceSet {
     /// # Errors
     ///
     /// Returns [`TraceError::Parse`] with a line number on the first
-    /// malformed line, or [`TraceError::Io`] on read failure.
+    /// malformed line — including lines that are not valid UTF-8 — or
+    /// [`TraceError::Io`] on genuine read failure.
     pub fn read_jsonl<R: Read>(r: R) -> Result<TraceSet> {
         let reader = BufReader::new(r);
         let mut out = TraceSet::new();
         for (idx, line) in reader.lines().enumerate() {
-            let line = line?;
+            // `lines()` folds invalid UTF-8 into an InvalidData io::Error,
+            // which would otherwise drop the line number the parse path
+            // promises. Surface it as a Parse error at this line instead.
+            let line = line.map_err(|e| {
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    TraceError::Parse { line: idx + 1, message: e.to_string() }
+                } else {
+                    TraceError::Io(e)
+                }
+            })?;
             if line.trim().is_empty() {
                 continue;
             }
@@ -288,6 +298,19 @@ mod tests {
         match TraceSet::read_jsonl(data.as_bytes()) {
             Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_reports_line_of_invalid_utf8() {
+        let good = r#"{"kind":"Cpu","ts_nanos":1,"utilization":0.1,"busy_nanos":5,"request_id":1}"#;
+        let mut data = Vec::new();
+        data.extend_from_slice(good.as_bytes());
+        data.extend_from_slice(b"\n\xFF\xFE not utf-8\n");
+        data.extend_from_slice(good.as_bytes());
+        match TraceSet::read_jsonl(data.as_slice()) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error with line number, got {other:?}"),
         }
     }
 

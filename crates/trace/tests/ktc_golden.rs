@@ -1,0 +1,129 @@
+//! Committed golden fixtures pinning the KTC encoding.
+//!
+//! `fixtures/golden.jsonl` and `fixtures/golden.ktc` hold the *same*
+//! canonical trace in both formats. The byte-identity tests below catch
+//! accidental format drift the way `golden_jsonl.rs` pins the JSONL wire
+//! format: any change to the KTC encoding (block order, column order,
+//! varint scheme, interning) fails here and forces a deliberate version
+//! bump instead of a silent incompatibility.
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! KOOZA_REGEN_FIXTURES=1 cargo test -p kooza-trace --test ktc_golden
+//! ```
+
+use std::path::PathBuf;
+
+use kooza_trace::record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
+use kooza_trace::span::{Span, SpanId, TraceId};
+use kooza_trace::store::TraceSet;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The canonical fixture trace: every stream populated, root and child
+/// spans, an annotation, a repeated span name (exercising interning) and
+/// one extreme-width value per varint-encoded column family.
+fn fixture_set() -> TraceSet {
+    let mut ts = TraceSet::new();
+    ts.storage.push(StorageRecord {
+        ts_nanos: 123,
+        lbn: 456,
+        size: 4096,
+        op: IoOp::Write,
+        request_id: 7,
+    });
+    ts.storage.push(StorageRecord {
+        ts_nanos: 150,
+        lbn: u64::MAX,
+        size: 0,
+        op: IoOp::Read,
+        request_id: 8,
+    });
+    ts.cpu.push(CpuRecord {
+        ts_nanos: 1,
+        utilization: 0.25,
+        busy_nanos: 500,
+        request_id: 7,
+    });
+    ts.memory.push(MemoryRecord {
+        ts_nanos: 2,
+        bank: 3,
+        size: 64,
+        op: IoOp::Read,
+        request_id: 7,
+    });
+    ts.network.push(NetworkRecord {
+        ts_nanos: 3,
+        size: 65536,
+        direction: Direction::Ingress,
+        request_id: 7,
+    });
+    ts.network.push(NetworkRecord {
+        ts_nanos: 3,
+        size: 128,
+        direction: Direction::Egress,
+        request_id: 7,
+    });
+    ts.spans.push(Span::new(TraceId(3), SpanId(0), None, "request", 0, 10));
+    let mut span = Span::new(TraceId(3), SpanId(1), Some(SpanId(0)), "disk", 5, 9);
+    span.annotate(6, "seek");
+    ts.spans.push(span);
+    ts.spans.push(Span::new(TraceId(4), SpanId(0), None, "request", 11, 20));
+    ts
+}
+
+fn regen() -> bool {
+    std::env::var_os("KOOZA_REGEN_FIXTURES").is_some()
+}
+
+#[test]
+fn jsonl_fixture_bytes_are_pinned() {
+    let path = fixture_dir().join("golden.jsonl");
+    let mut current = Vec::new();
+    fixture_set().write_jsonl(&mut current).unwrap();
+    if regen() {
+        std::fs::write(&path, &current).unwrap();
+        return;
+    }
+    let committed = std::fs::read(&path).unwrap();
+    assert_eq!(
+        committed, current,
+        "JSONL encoding drifted from the committed fixture {path:?}"
+    );
+}
+
+#[test]
+fn ktc_fixture_bytes_are_pinned() {
+    let path = fixture_dir().join("golden.ktc");
+    let mut current = Vec::new();
+    fixture_set().write_ktc(&mut current).unwrap();
+    if regen() {
+        std::fs::write(&path, &current).unwrap();
+        return;
+    }
+    let committed = std::fs::read(&path).unwrap();
+    assert_eq!(
+        committed, current,
+        "KTC encoding drifted from the committed fixture {path:?} — if the \
+         format change is intentional, bump the container version and \
+         regenerate with KOOZA_REGEN_FIXTURES=1"
+    );
+}
+
+#[test]
+fn both_fixtures_decode_to_the_same_trace() {
+    if regen() {
+        // Fixtures are being rewritten by the sibling tests in this same
+        // run; checking them now would race the writes.
+        return;
+    }
+    let jsonl = std::fs::read(fixture_dir().join("golden.jsonl")).unwrap();
+    let ktc = std::fs::read(fixture_dir().join("golden.ktc")).unwrap();
+    let via_jsonl = TraceSet::read_jsonl(jsonl.as_slice()).unwrap();
+    let via_ktc = TraceSet::read_ktc(ktc.as_slice()).unwrap();
+    assert_eq!(via_jsonl, via_ktc, "committed fixtures disagree across formats");
+    assert_eq!(via_ktc, fixture_set(), "fixtures drifted from the in-code canonical trace");
+}

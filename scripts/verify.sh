@@ -42,9 +42,21 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== benchmarks compile and smoke-run =="
 cargo bench --offline -p kooza-bench --bench micro -- --mode smoke >/dev/null
 
+echo "== KTC trace format: property, corruption and golden-fixture suites =="
+# The binary columnar format is gated on the JSONL oracle: round-trip
+# identity and oracle agreement (properties), typed errors on every
+# truncation/mutation of the stream (corruption sweep), and committed
+# fixture bytes pinned exactly (golden).
+cargo test -q --offline -p kooza-trace --test ktc_properties
+cargo test -q --offline -p kooza-trace --test ktc_corrupt
+cargo test -q --offline -p kooza-trace --test ktc_golden
+cargo test -q --offline --test trace_roundtrip
+
 echo "== thread-count determinism: tables identical at KOOZA_THREADS=8 =="
-# The test itself sweeps 1/2/8 via the thread override; running it under
-# KOOZA_THREADS=8 additionally exercises the env-var sizing path.
+# The test itself sweeps 1/2/8 via the thread override (and, since the
+# KTC format landed, direct vs JSONL vs KTC ingest at each count);
+# running it under KOOZA_THREADS=8 additionally exercises the env-var
+# sizing path.
 KOOZA_THREADS=8 cargo test -q --offline --test determinism
 
 echo "== observability determinism: stripped --obs report identical at KOOZA_THREADS=8 =="

@@ -1,12 +1,16 @@
 //! Thread-count determinism regression: the Table-1 and Table-2 pipelines
 //! must produce byte-identical kooza-json output whether the `kooza-exec`
-//! pool runs 1, 2 or 8 workers.
+//! pool runs 1, 2 or 8 workers — and whether the training trace is
+//! ingested directly, via a JSONL round trip, or via a KTC round trip.
 //!
 //! This is the contract DESIGN.md's "Execution layer" section states:
 //! parallelism is an implementation detail — ordered reduction and
 //! per-task RNG streams make every published number independent of the
 //! thread count (and of the host's core count). `KOOZA_THREADS=1` takes
 //! the exact serial code path, so this test also pins parallel == serial.
+//! The ingest sweep extends the same contract to trace persistence: the
+//! serialization format is an implementation detail too (DESIGN.md §10's
+//! JSONL-as-oracle rule, checked here at table granularity).
 
 use kooza::class::assemble_observations;
 use kooza::crossexam::cross_examine;
@@ -15,8 +19,37 @@ use kooza::{InBreadthModel, InDepthModel, Kooza, ReplayConfig, WorkloadModel};
 use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
 use kooza_json::{to_string, Json};
 use kooza_sim::rng::Rng64;
+use kooza_trace::TraceSet;
 
 const SEED: u64 = 2011;
+
+/// How the simulator's trace reaches the modeling pipeline: handed over
+/// in memory, or serialized and re-read through one of the two on-disk
+/// formats. All three must feed the models identical data.
+#[derive(Clone, Copy, Debug)]
+enum Ingest {
+    Direct,
+    Jsonl,
+    Ktc,
+}
+
+const INGESTS: [Ingest; 3] = [Ingest::Direct, Ingest::Jsonl, Ingest::Ktc];
+
+/// Round-trip `trace` through the chosen serialization format.
+fn reingest(trace: TraceSet, via: Ingest) -> TraceSet {
+    let mut bytes = Vec::new();
+    match via {
+        Ingest::Direct => trace,
+        Ingest::Jsonl => {
+            trace.write_jsonl(&mut bytes).expect("jsonl encode");
+            TraceSet::read_jsonl(bytes.as_slice()).expect("jsonl decode")
+        }
+        Ingest::Ktc => {
+            trace.write_ktc(&mut bytes).expect("ktc encode");
+            TraceSet::read_ktc(bytes.as_slice()).expect("ktc decode")
+        }
+    }
+}
 
 fn obj(fields: Vec<(&str, Json)>) -> Json {
     Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -24,7 +57,7 @@ fn obj(fields: Vec<(&str, Json)>) -> Json {
 
 /// Table 2: train KOOZA on two request classes, validate features and
 /// latency. Mirrors `kooza-bench`'s `table2_validation` at test scale.
-fn table2_json() -> Json {
+fn table2_json(via: Ingest) -> Json {
     let cases = [("64k-read", WorkloadMix::read_heavy(), 600u64), (
         "4m-write",
         WorkloadMix::write_heavy(),
@@ -34,8 +67,9 @@ fn table2_json() -> Json {
         let mut config = ClusterConfig::small();
         config.workload = *workload;
         let outcome = Cluster::new(&config).expect("config").run(*n, SEED);
-        let observations = assemble_observations(&outcome.trace).expect("assembles");
-        let model = Kooza::fit(&outcome.trace).expect("trains");
+        let trace = reingest(outcome.trace, via);
+        let observations = assemble_observations(&trace).expect("assembles");
+        let model = Kooza::fit(&trace).expect("trains");
         let mut rng = Rng64::new(SEED + 1);
         let synthetic = model.generate(*n as usize, &mut rng);
         let report = validate(&model, &observations, &synthetic, ReplayConfig::from(&config));
@@ -70,13 +104,13 @@ fn table2_json() -> Json {
 }
 
 /// Table 1: cross-examine the three model families on a mixed workload.
-fn table1_json() -> Json {
+fn table1_json(via: Ingest) -> Json {
     let mut config = ClusterConfig::small();
     config.workload = WorkloadMix {
         n_chunks: 120,
         ..WorkloadMix::mixed()
     };
-    let trace = Cluster::new(&config).expect("config").run(700, SEED).trace;
+    let trace = reingest(Cluster::new(&config).expect("config").run(700, SEED).trace, via);
     let observations = assemble_observations(&trace).expect("assembles");
     let kooza = Kooza::fit(&trace).expect("kooza");
     let inb = InBreadthModel::fit(&trace).expect("in-breadth");
@@ -107,27 +141,32 @@ fn table1_json() -> Json {
     )
 }
 
-fn pipeline_output() -> String {
-    to_string(&obj(vec![("table2", table2_json()), ("table1", table1_json())]))
+fn pipeline_output(via: Ingest) -> String {
+    to_string(&obj(vec![("table2", table2_json(via)), ("table1", table1_json(via))]))
 }
 
 #[test]
-fn tables_are_byte_identical_across_thread_counts() {
+fn tables_are_byte_identical_across_thread_counts_and_ingest_formats() {
     // One #[test] drives all thread counts: the override is process-global
     // state, so sweeping it inside a single test keeps this binary free of
-    // cross-test races.
+    // cross-test races. Each thread count also runs the pipeline per
+    // ingest path, so the 3x3 grid pins serial == parallel AND direct ==
+    // JSONL == KTC in one place.
     let mut outputs = Vec::new();
     for threads in [1usize, 2, 8] {
         kooza_exec::set_thread_override(Some(threads));
-        outputs.push((threads, pipeline_output()));
+        for via in INGESTS {
+            outputs.push((threads, via, pipeline_output(via)));
+        }
     }
     kooza_exec::set_thread_override(None);
-    let (_, reference) = &outputs[0];
+    let (_, _, reference) = &outputs[0];
     assert!(reference.contains("table2") && reference.contains("latency_ks"));
-    for (threads, output) in &outputs[1..] {
+    for (threads, via, output) in &outputs[1..] {
         assert_eq!(
             output, reference,
-            "pipeline output at {threads} threads diverged from serial"
+            "pipeline output at {threads} threads via {via:?} ingest diverged \
+             from serial direct"
         );
     }
 }

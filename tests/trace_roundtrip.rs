@@ -1,28 +1,59 @@
-//! Cross-crate check that real simulator traces survive JSONL persistence
-//! byte-identically — the full-corpus counterpart of the hand-built golden
-//! fixtures in `crates/trace/tests/golden_jsonl.rs`.
+//! Cross-crate check that real simulator traces survive persistence
+//! byte-identically in both formats — the full-corpus counterpart of the
+//! hand-built golden fixtures in `crates/trace/tests/golden_jsonl.rs` and
+//! `crates/trace/tests/ktc_golden.rs`.
 
 use kooza_gfs::{Cluster, ClusterConfig, WorkloadMix};
 use kooza_trace::TraceSet;
+
+fn workloads() -> [(WorkloadMix, u64); 3] {
+    [
+        (WorkloadMix::mixed(), 7u64),
+        (WorkloadMix::read_heavy(), 11),
+        (WorkloadMix::write_heavy(), 13),
+    ]
+}
+
+fn simulate(workload: WorkloadMix, seed: u64) -> TraceSet {
+    let mut config = ClusterConfig::small();
+    config.workload = workload;
+    Cluster::new(&config).unwrap().run(200, seed).trace
+}
 
 #[test]
 fn simulator_traces_round_trip_byte_identically() {
     // A real trace from the GFS simulator (floats, sampling, hundreds of
     // spans) must be a fixed point of write → read → write.
-    for (workload, seed) in [
-        (WorkloadMix::mixed(), 7u64),
-        (WorkloadMix::read_heavy(), 11),
-        (WorkloadMix::write_heavy(), 13),
-    ] {
-        let mut config = ClusterConfig::small();
-        config.workload = workload;
-        let outcome = Cluster::new(&config).unwrap().run(200, seed);
+    for (workload, seed) in workloads() {
+        let trace = simulate(workload, seed);
         let mut first = Vec::new();
-        outcome.trace.write_jsonl(&mut first).unwrap();
+        trace.write_jsonl(&mut first).unwrap();
         let reread = TraceSet::read_jsonl(first.as_slice()).unwrap();
-        assert_eq!(reread, outcome.trace);
+        assert_eq!(reread, trace);
         let mut second = Vec::new();
         reread.write_jsonl(&mut second).unwrap();
         assert_eq!(first, second);
+    }
+}
+
+#[test]
+fn simulator_traces_round_trip_through_ktc() {
+    // The same fixed-point contract for the binary format: decode is
+    // lossless against the in-memory trace, and re-encoding the decoded
+    // trace reproduces the stream byte for byte (canonical encoding).
+    for (workload, seed) in workloads() {
+        let trace = simulate(workload, seed);
+        let mut first = Vec::new();
+        trace.write_ktc(&mut first).unwrap();
+        let reread = TraceSet::read_ktc(first.as_slice()).unwrap();
+        assert_eq!(reread, trace);
+        let mut second = Vec::new();
+        reread.write_ktc(&mut second).unwrap();
+        assert_eq!(first, second);
+
+        // Both formats must also agree with each other on every record.
+        let mut jsonl = Vec::new();
+        trace.write_jsonl(&mut jsonl).unwrap();
+        assert_eq!(TraceSet::read_jsonl(jsonl.as_slice()).unwrap(), reread);
     }
 }
