@@ -1,0 +1,54 @@
+//! Sharded-cluster scaling benchmark: the single-engine simulation vs the
+//! time-windowed sharded engine on the same million-request workload.
+//!
+//! Full mode (`cargo bench`) runs the paper-scale 1M-request cluster;
+//! smoke mode shrinks to 5k requests so `scripts/verify.sh` can exercise
+//! both code paths cheaply. The JSON report (`KOOZA_BENCH_JSON`) stamps
+//! the shard count next to the cores/threads stamps, and `--baseline`
+//! diffs against an archived `BENCH_shard.json` — the committed numbers
+//! say what host shape produced them, so a 1-core CI box diffing against
+//! an 8-core archive reads the `detected_cores` stamp, not the ratio.
+
+use std::hint::black_box;
+
+use kooza_bench::harness::Harness;
+use kooza_gfs::{default_shards, Cluster, ClusterConfig, WorkloadMix};
+
+/// The benchmark cluster: wide enough that `auto` sharding engages
+/// (64 servers → 8 groups of 8 at replication 3).
+fn bench_config() -> ClusterConfig {
+    let mut config = ClusterConfig::cluster(64);
+    config.workload = WorkloadMix {
+        mean_interarrival_secs: 0.0005,
+        n_chunks: 20_000,
+        ..WorkloadMix::mixed()
+    };
+    config
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    let config = bench_config();
+    let n_requests: u64 = if h.is_full() { 1_000_000 } else { 5_000 };
+    let shards = default_shards(&config) as u64;
+    h.set_shards(shards);
+
+    h.bench_function("cluster_1m_single", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(&config).unwrap();
+            black_box(cluster.run(n_requests, 42).stats.completed)
+        })
+    });
+    h.bench_function("cluster_1m_shards", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(&config).unwrap();
+            black_box(
+                cluster
+                    .run_sharded(n_requests, 42, shards as usize)
+                    .stats
+                    .completed,
+            )
+        })
+    });
+    h.finish();
+}

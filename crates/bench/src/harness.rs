@@ -119,6 +119,8 @@ pub struct Harness {
     filter: Option<String>,
     /// `(path, name → baseline median ns)` from `--baseline`, if given.
     baseline: Option<(String, Vec<(String, f64)>)>,
+    /// Shard count the cluster benches ran with, stamped into `meta`.
+    shards: Option<u64>,
     results: Vec<BenchResult>,
 }
 
@@ -165,7 +167,21 @@ impl Harness {
                 .unwrap_or_else(|e| panic!("loading --baseline {path}: {e}"));
             (path, medians)
         });
-        Harness { full, filter, baseline, results: Vec::new() }
+        Harness { full, filter, baseline, shards: None, results: Vec::new() }
+    }
+
+    /// Whether this run is in full (measured) mode rather than smoke
+    /// mode — benches use it to size their inputs (e.g. the million-
+    /// request cluster runs shrink to a few thousand requests in smoke).
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Stamps the shard count the cluster benches ran with into the JSON
+    /// report's `meta` object, next to the cores/threads/samples stamps —
+    /// archived BENCH_*.json files must say what sharding they measured.
+    pub fn set_shards(&mut self, shards: u64) {
+        self.shards = Some(shards);
     }
 
     /// Number of warmup iterations before measurement starts.
@@ -277,6 +293,13 @@ impl Harness {
             ("samples_per_bench".into(), Json::U64(self.sample_count() as u64)),
             ("total_samples".into(), Json::U64(total_samples)),
         ]);
+        let meta = match (self.shards, meta) {
+            (Some(shards), Json::Object(mut fields)) => {
+                fields.push(("shards".into(), Json::U64(shards)));
+                Json::Object(fields)
+            }
+            (_, meta) => meta,
+        };
         let mut report = vec![
             ("meta".into(), meta),
             (
@@ -477,6 +500,7 @@ mod tests {
             full: true,
             filter: None,
             baseline: None,
+            shards: Some(4),
             results: vec![BenchResult {
                 name: "demo".into(),
                 samples: 30,
@@ -495,6 +519,7 @@ mod tests {
         assert_eq!(meta.field("warmup_iters").unwrap().as_f64(), Some(10.0));
         assert_eq!(meta.field("samples_per_bench").unwrap().as_f64(), Some(30.0));
         assert_eq!(meta.field("total_samples").unwrap().as_f64(), Some(30.0));
+        assert_eq!(meta.field("shards").unwrap().as_f64(), Some(4.0));
         let results = json.field("results").unwrap().as_array().unwrap();
         assert_eq!(results.len(), 1);
     }
@@ -504,6 +529,7 @@ mod tests {
         let harness = Harness {
             full: true,
             filter: None,
+            shards: None,
             baseline: Some((
                 "old.json".into(),
                 vec![
@@ -579,7 +605,7 @@ mod tests {
         let s = kooza_json::to_string(&plain.to_json());
         assert!(!s.contains("mb_per_sec"), "{s}");
 
-        let mut h = Harness { full: false, filter: None, baseline: None, results: vec![] };
+        let mut h = Harness { full: false, filter: None, baseline: None, shards: None, results: vec![] };
         h.bench_throughput("tp", 4096, |b| b.iter(|| std::hint::black_box(1 + 1)));
         assert_eq!(h.results.len(), 1);
         assert_eq!(h.results[0].bytes, Some(4096));

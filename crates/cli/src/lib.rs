@@ -33,6 +33,7 @@ usage: kooza <command> [options]
 commands:
   simulate     --out <path> [--requests N] [--seed S] [--workload read|write|mixed]
                [--servers K] [--consult-master] [--faults <spec>]
+               [--shards N|auto]
                run the GFS simulator and write a trace (JSONL or KTC)
   characterize --trace <path>
                per-subsystem workload profiles of a trace
@@ -48,7 +49,8 @@ commands:
   crossexam    --trace <path> [--n N] [--seed S]
                score kooza vs in-breadth vs in-depth on this trace (Table 1)
                (with --faults <spec>: train on an internally simulated
-               fault-injected trace instead of --trace)
+               fault-injected trace instead of --trace; [--shards N|auto]
+               shards that internal simulation too)
   trace convert --in <path> --out <path> [--in-format jsonl|ktc]
                [--out-format jsonl|ktc]
                convert a trace between JSONL text and KTC binary columnar
@@ -72,6 +74,14 @@ trace formats (any command reading --trace or writing --out):
   --format     jsonl|ktc; when omitted, a .ktc extension selects KTC,
                otherwise reads sniff the KTC magic bytes (falling back to
                JSONL) and writes default to JSONL
+
+sharded simulation (simulate, crossexam --faults):
+  --shards     number of server-group shards, each with its own event
+               loop, advancing in lockstep time windows; `auto` (the
+               default) picks one shard per ~8 servers. Clamped so every
+               shard holds a full replica set (small clusters run the
+               single-engine path). Deterministic for a fixed shard
+               count at any --threads; 1 is bit-identical to unsharded
 
 global options (accepted by every command):
   --threads N  worker threads for the parallel pipeline stages; results
@@ -238,6 +248,28 @@ fn parse_faults(opts: &Options) -> Result<Option<FaultSpec>, CliError> {
         .transpose()
 }
 
+/// `--shards N|auto`, resolved against the cluster: `auto` (and the
+/// option's absence) picks [`kooza_gfs::default_shards`], and any request
+/// is clamped so every shard group holds a full replica set — mirroring
+/// what `run_sharded` enforces, so the report shows the real shard count.
+fn parse_shards(opts: &Options, config: &ClusterConfig) -> Result<usize, CliError> {
+    let requested = match opts.get("shards") {
+        None | Some("auto") => kooza_gfs::default_shards(config),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| err(format!("--shards must be a count or `auto`, got `{v}`")))?;
+            if n == 0 {
+                return Err(err("--shards must be at least 1"));
+            }
+            n
+        }
+    };
+    Ok(requested
+        .min(config.n_chunkservers / config.replication.max(1))
+        .max(1))
+}
+
 /// Parses a `--format`-style option into a trace format; `None` when the
 /// option is absent (callers fall back to extension/content detection).
 fn parse_format(opts: &Options, key: &str) -> Result<Option<TraceFormat>, CliError> {
@@ -292,16 +324,22 @@ fn simulate(opts: &Options) -> Result<String, CliError> {
     config.workload = workload;
     config.consult_master = opts.has_flag("consult-master");
     config.faults = parse_faults(opts)?;
+    let shards = parse_shards(opts, &config)?;
     let mut cluster = Cluster::new(&config).map_err(|e| err(e.to_string()))?;
-    let outcome = cluster.run(requests, seed);
+    let outcome = cluster.run_sharded(requests, seed, shards);
 
     let format = parse_format(opts, "format")?;
     outcome
         .trace
         .write_file(Path::new(out), format)
         .map_err(|e| err(format!("cannot write {out}: {e}")))?;
+    let shard_note = if shards > 1 {
+        format!(", {shards} shards")
+    } else {
+        String::new()
+    };
     let mut report = format!(
-        "simulated {} requests on {} server(s) (seed {seed})\n\
+        "simulated {} requests on {} server(s){shard_note} (seed {seed})\n\
          throughput {:.1} req/s | mean latency {:.3} ms | cache hit {:.1}%\n\
          wrote {} records to {out}",
         outcome.stats.completed,
@@ -449,8 +487,9 @@ fn crossexam(opts: &Options) -> Result<String, CliError> {
     let (trace, path) = if let Some(faults) = parse_faults(opts)? {
         let (mut config, requests) = fault_mode_config(opts)?;
         config.faults = Some(faults);
+        let shards = parse_shards(opts, &config)?;
         let mut cluster = Cluster::new(&config).map_err(|e| err(e.to_string()))?;
-        let outcome = cluster.run(requests, seed);
+        let outcome = cluster.run_sharded(requests, seed, shards);
         let label = format!(
             "fault-injected cluster ({} servers, {} requests, {} crashes)",
             config.n_chunkservers, requests, outcome.stats.faults.crashes,
@@ -725,6 +764,67 @@ mod tests {
         assert!(run(&args("simulate --out /tmp/x --faults nonsense")).is_err());
         assert!(run(&args("simulate --out /tmp/x --faults mttf=-1")).is_err());
         assert!(run(&args("validate --faults gibberish=1")).is_err());
+    }
+
+    #[test]
+    fn simulate_shards_flag_shards_reports_and_stays_deterministic() {
+        let p1 = temp_path("shards1");
+        let p2 = temp_path("shards2");
+        let cmd =
+            |p: &str| format!("simulate --out {p} --requests 300 --seed 3 --servers 12 --shards 4");
+        let out = run(&args(&cmd(&p1))).unwrap();
+        assert!(out.contains("12 server(s), 4 shards"), "{out}");
+        run(&args(&cmd(&p2))).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&p1).unwrap(),
+            std::fs::read_to_string(&p2).unwrap()
+        );
+        cleanup(&p1);
+        cleanup(&p2);
+
+        // `--shards 1` is the single-engine path, bit-identical to a run
+        // without the option; small clusters clamp any request down to it.
+        let legacy = temp_path("shards-legacy");
+        let one = temp_path("shards-one");
+        run(&args(&format!("simulate --out {legacy} --requests 200 --seed 5 --servers 4")))
+            .unwrap();
+        let out = run(&args(&format!(
+            "simulate --out {one} --requests 200 --seed 5 --servers 4 --shards 8"
+        )))
+        .unwrap();
+        // 4 servers / replication 3 -> 1 shard: no shard note printed.
+        assert!(out.contains("4 server(s) (seed"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&legacy).unwrap(),
+            std::fs::read_to_string(&one).unwrap()
+        );
+        cleanup(&legacy);
+        cleanup(&one);
+    }
+
+    #[test]
+    fn shards_auto_and_bad_values() {
+        let p = temp_path("shards-auto");
+        let out = run(&args(&format!(
+            "simulate --out {p} --requests 100 --seed 2 --servers 16 --shards auto"
+        )))
+        .unwrap();
+        // auto on 16 servers -> 2 groups of 8.
+        assert!(out.contains("16 server(s), 2 shards"), "{out}");
+        cleanup(&p);
+        assert!(run(&args("simulate --out /tmp/x --shards 0")).is_err());
+        assert!(run(&args("simulate --out /tmp/x --shards nope")).is_err());
+    }
+
+    #[test]
+    fn crossexam_faults_accepts_shards() {
+        let out = run(&args(
+            "crossexam --faults mttf=3,mttr=0.5,timeout=0.4,retries=10 \
+             --requests 300 --servers 12 --shards 4 --n 200 --seed 5",
+        ))
+        .unwrap();
+        assert!(out.contains("fault-injected cluster (12 servers"), "{out}");
+        assert!(out.contains("kooza"), "{out}");
     }
 
     #[test]

@@ -436,6 +436,74 @@ impl Pool {
         debug_assert_eq!(chunks.len(), n_chunks);
         chunks.into_iter().flat_map(|(_, results)| results).collect()
     }
+
+    /// Runs `f(index, &mut items[index])` for every item, in place, using
+    /// the persistent worker pool. The window-barrier primitive behind
+    /// sharded simulation: each shard is stepped exactly once per call,
+    /// items are disjoint, and no results are merged — so, unlike
+    /// [`Pool::par_map`], there is no reduction whose order could matter
+    /// and no per-call profile is recorded (a sharded run makes thousands
+    /// of these calls, one per window).
+    ///
+    /// With 1 thread (or ≤ 1 item, or when nested inside a `par_map` task
+    /// body) this is exactly `for (i, item) in items.iter_mut().enumerate()
+    /// { f(i, item) }` — the serial path, bit-identical by construction.
+    /// Item bodies must keep the usual discipline: derive randomness from
+    /// the item index, never from shared mutable state.
+    pub fn par_for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n <= 1 || in_par_map_tasks() {
+            let _tasks = TaskScope::enter();
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        /// The base pointer of the slice, smuggled into the `Sync` closure.
+        struct BasePtr<T>(*mut T);
+        impl<T> BasePtr<T> {
+            // Accessor (rather than a public field) so closures capture the
+            // whole `Sync` wrapper, not the bare `*mut T` — Rust 2021's
+            // disjoint capture would otherwise grab the non-`Sync` pointer.
+            fn get(&self) -> *mut T {
+                self.0
+            }
+        }
+        // SAFETY: workers only ever form `&mut` references to *distinct*
+        // indices (each index is claimed exactly once via `next`), and the
+        // submitter blocks until all workers finish, so the borrow of
+        // `items` outlives every access.
+        unsafe impl<T: Send> Sync for BasePtr<T> {}
+        let base = BasePtr(items.as_mut_ptr());
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let task = |_slot: usize| {
+            let _tasks = TaskScope::enter();
+            let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: `i` was claimed exactly once (fetch_add), so this
+                // is the only `&mut` to `items[i]`; see `BasePtr`.
+                let item = unsafe { &mut *base.get().add(i) };
+                f(i, item);
+            }));
+            if let Err(payload) = outcome {
+                let mut slot = panicked.lock().expect("pool panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+        };
+        hub().scope_run(workers - 1, &task);
+        if let Some(payload) = panicked.into_inner().expect("pool panic slot poisoned") {
+            resume_unwind(payload);
+        }
+    }
 }
 
 /// [`Pool::par_map`] on a pool with the resolved thread count.
@@ -456,6 +524,15 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     Pool::new().par_map_indexed(items, f)
+}
+
+/// [`Pool::par_for_each_mut`] on a pool with the resolved thread count.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    Pool::new().par_for_each_mut(items, f)
 }
 
 #[cfg(test)]
@@ -573,6 +650,60 @@ mod tests {
                     assert_eq!(got, expect, "caller {t}");
                 });
             }
+        });
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        for threads in [1usize, 2, 4, 8] {
+            let mut items: Vec<u64> = (0..257).collect();
+            Pool::with_threads(threads).par_for_each_mut(&mut items, |i, x| {
+                assert_eq!(*x, i as u64);
+                *x = *x * 3 + 1;
+            });
+            let expect: Vec<u64> = (0..257).map(|x| x * 3 + 1).collect();
+            assert_eq!(items, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_handles_empty_and_singleton() {
+        let mut empty: Vec<u32> = Vec::new();
+        Pool::with_threads(4).par_for_each_mut(&mut empty, |_, _| {});
+        let mut one = vec![41u32];
+        Pool::with_threads(4).par_for_each_mut(&mut one, |_, x| *x += 1);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn for_each_mut_repeated_calls_share_the_pool() {
+        // The window-barrier usage pattern: many small calls in a row.
+        let mut shards: Vec<u64> = vec![0; 5];
+        for _round in 0..500 {
+            Pool::with_threads(4).par_for_each_mut(&mut shards, |_, s| *s += 1);
+        }
+        assert_eq!(shards, vec![500; 5]);
+    }
+
+    #[test]
+    fn for_each_mut_panics_propagate_and_pool_survives() {
+        let mut items: Vec<u64> = (0..64).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Pool::with_threads(4).par_for_each_mut(&mut items, |_, x| {
+                assert!(*x != 13, "boom at 13");
+            });
+        }));
+        assert!(result.is_err(), "panic should propagate to the caller");
+        let mut again: Vec<u64> = (0..64).collect();
+        Pool::with_threads(4).par_for_each_mut(&mut again, |_, x| *x += 1);
+        assert_eq!(again, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn for_each_mut_suppresses_stage_spans_like_par_map() {
+        let mut items = vec![0u8; 8];
+        Pool::with_threads(4).par_for_each_mut(&mut items, |_, _| {
+            assert!(in_par_map_tasks());
         });
     }
 

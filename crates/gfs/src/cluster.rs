@@ -26,6 +26,9 @@ use crate::fault::{FaultPlan, FaultSpec};
 use crate::hardware::{CpuModel, DiskModel, LinkModel, MemoryModel};
 use crate::master::{ChunkHandle, Master, LBNS_PER_CHUNK};
 
+mod sharded;
+pub use sharded::default_shards;
+
 /// Request ids at or above this mark are background re-replication jobs,
 /// not client requests (client ids are issued sequentially from 0).
 const REREP_BASE: u64 = 1 << 63;
@@ -101,6 +104,24 @@ pub struct FaultStats {
     pub degraded_requests: u64,
 }
 
+impl FaultStats {
+    /// Accumulates another run fragment's counters into `self`. Every
+    /// field is a sum, so merging is commutative and associative: any
+    /// order of combining per-shard fragments yields the same totals.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.failovers += other.failovers;
+        self.link_drops += other.link_drops;
+        self.rereplications += other.rereplications;
+        self.requests_failed += other.requests_failed;
+        self.jobs_lost += other.jobs_lost;
+        self.degraded_requests += other.degraded_requests;
+    }
+}
+
 /// Aggregate simulation statistics.
 #[derive(Debug, Clone)]
 pub struct ClusterStats {
@@ -155,6 +176,56 @@ impl ClusterStats {
         } else {
             0.0
         }
+    }
+
+    /// Combines a *disjoint* run fragment into `self` — the per-shard
+    /// stats of a sharded run, where each fragment covers its own server
+    /// range (the per-server vectors are full-length with zeros outside
+    /// that range) and at most one fragment carries the master path.
+    ///
+    /// Order-independent by construction: counters and busy times sum,
+    /// latency tallies Welford-combine, watermarks and the makespan take
+    /// the max, per-server vectors combine element-wise (sum for loads
+    /// and utilizations, max for queue watermarks), `master_utilization`
+    /// sums and `metadata_hit_ratio` multiplies — fragments without the
+    /// master path contribute the identity (0 and 1 respectively).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-server vectors have different lengths (fragments
+    /// of different clusters).
+    pub fn merge(&mut self, other: &ClusterStats) {
+        let n = self.cpu_utilization.len();
+        assert_eq!(n, other.cpu_utilization.len(), "fragments of different clusters");
+        self.completed += other.completed;
+        self.latency_secs.merge(&other.latency_secs);
+        self.makespan_secs = self.makespan_secs.max(other.makespan_secs);
+        for (a, b) in self.cpu_utilization.iter_mut().zip(&other.cpu_utilization) {
+            *a += b;
+        }
+        for (a, b) in self.disk_utilization.iter_mut().zip(&other.disk_utilization) {
+            *a += b;
+        }
+        for (a, b) in self.cache_hit_ratio.iter_mut().zip(&other.cache_hit_ratio) {
+            *a += b;
+        }
+        self.total_cpu_busy_secs += other.total_cpu_busy_secs;
+        self.tracing_busy_secs += other.tracing_busy_secs;
+        self.master_utilization += other.master_utilization;
+        self.metadata_hit_ratio *= other.metadata_hit_ratio;
+        self.events_processed += other.events_processed;
+        self.pending_high_water = self.pending_high_water.max(other.pending_high_water);
+        for (a, b) in self.requests_per_server.iter_mut().zip(&other.requests_per_server) {
+            *a += b;
+        }
+        for (a, b) in self
+            .queue_high_water_per_server
+            .iter_mut()
+            .zip(&other.queue_high_water_per_server)
+        {
+            *a = (*a).max(*b);
+        }
+        self.faults.merge(&other.faults);
     }
 }
 
@@ -355,6 +426,9 @@ enum Ev {
     RequestTimeout { id: u64, attempt: u32 },
     /// The master repairs a chunk that lost `dead`'s replica.
     Rereplicate { chunk: ChunkHandle, dead: usize },
+    /// A cross-shard message delivered at a window barrier. Only sharded
+    /// runs schedule this; the single-engine path never sees it.
+    Msg(Box<sharded::ShardMsg>),
 }
 
 /// The cluster simulator.
@@ -1213,6 +1287,7 @@ impl Cluster {
                         &mut fstats,
                     );
                 }
+                Ev::Msg(_) => unreachable!("cross-shard messages only exist in sharded runs"),
             }
             // With faults armed the heap still holds pre-scheduled
             // crash/recover events long past the workload; stop once every

@@ -46,7 +46,7 @@ mod fault;
 mod hardware;
 mod master;
 
-pub use cluster::{Cluster, ClusterOutcome, ClusterStats, FaultStats, RequestOutcome, Trial};
+pub use cluster::{default_shards, Cluster, ClusterOutcome, ClusterStats, FaultStats, RequestOutcome, Trial};
 pub use config::{ClusterConfig, CpuParams, DiskParams, LinkParams, MemoryParams, WorkloadMix};
 pub use fault::{FaultPlan, FaultSpec, FaultWindow};
 pub use hardware::{CpuModel, DiskModel, LinkModel, MemoryModel};

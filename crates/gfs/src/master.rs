@@ -77,6 +77,67 @@ impl Master {
         })
     }
 
+    /// Creates a master with *group-aligned* placement for sharded runs:
+    /// servers are split into `groups` contiguous ranges (see
+    /// [`kooza_sim::shard_ranges`]), chunk `c` lives entirely inside group
+    /// `c % groups`, and its replicas rotate within that group from a
+    /// per-group [`Rng64::for_stream`] draw. Every replica set (and thus
+    /// every write fanout and re-replication) stays inside one group, so
+    /// a shard owning that group never needs another shard's disks.
+    ///
+    /// With `groups == 1` the layout differs from [`Master::place`] only
+    /// in drawing from stream 0 of `seed` instead of a caller RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfsError::InvalidConfig`] on zero counts, or when the
+    /// smallest group cannot hold a full replica set
+    /// (`n_servers / groups < replication`).
+    pub fn place_grouped(
+        n_chunks: u64,
+        n_servers: usize,
+        replication: usize,
+        groups: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if n_servers == 0 || n_chunks == 0 || replication == 0 {
+            return Err(GfsError::InvalidConfig {
+                field: "placement",
+                detail: "chunk, server and replication counts must be at least 1".into(),
+            });
+        }
+        if groups == 0 || n_servers / groups < replication {
+            return Err(GfsError::InvalidConfig {
+                field: "groups",
+                detail: format!(
+                    "{groups} group(s) over {n_servers} servers cannot each hold \
+                     {replication} replicas"
+                ),
+            });
+        }
+        let ranges = kooza_sim::shard_ranges(n_servers, groups);
+        let mut rngs: Vec<Rng64> =
+            (0..groups).map(|g| Rng64::for_stream(seed, g as u64)).collect();
+        let mut placements = Vec::with_capacity(n_chunks as usize);
+        let mut primaries = vec![0u64; n_servers];
+        for c in 0..n_chunks {
+            let g = (c % groups as u64) as usize;
+            let range = &ranges[g];
+            let len = range.len();
+            let off = rngs[g].next_bounded(len as u64) as usize;
+            let replicas: Vec<usize> =
+                (0..replication).map(|r| range.start + (off + r) % len).collect();
+            primaries[replicas[0]] += 1;
+            placements.push(replicas);
+        }
+        Ok(Master {
+            n_servers,
+            replication,
+            placements,
+            primaries,
+        })
+    }
+
     /// Number of chunks tracked.
     pub fn n_chunks(&self) -> u64 {
         self.placements.len() as u64
@@ -270,6 +331,41 @@ mod tests {
         let target = (0..4).find(|s| !m.replicas(chunk).contains(s)).unwrap();
         m.replace_replica(chunk, primary, target);
         assert_eq!(m.primary(chunk), target);
+    }
+
+    #[test]
+    fn grouped_placement_confines_replicas_to_their_group() {
+        let m = Master::place_grouped(1000, 13, 3, 4, 99).unwrap();
+        let ranges = kooza_sim::shard_ranges(13, 4);
+        for c in 0..1000u64 {
+            let reps = m.replicas(ChunkHandle(c));
+            assert_eq!(reps.len(), 3);
+            let g = (c % 4) as usize;
+            for &s in reps {
+                assert!(
+                    ranges[g].contains(&s),
+                    "chunk {c} (group {g}) replica {s} outside {:?}",
+                    ranges[g]
+                );
+            }
+            let mut sorted = reps.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "duplicate replicas: {reps:?}");
+        }
+        // Deterministic under the seed.
+        let again = Master::place_grouped(1000, 13, 3, 4, 99).unwrap();
+        assert_eq!(m, again);
+        assert_ne!(m, Master::place_grouped(1000, 13, 3, 4, 100).unwrap());
+    }
+
+    #[test]
+    fn grouped_placement_rejects_undersized_groups() {
+        // 8 servers in 4 groups of 2 cannot hold 3 replicas per chunk.
+        assert!(Master::place_grouped(10, 8, 3, 4, 1).is_err());
+        assert!(Master::place_grouped(10, 8, 3, 0, 1).is_err());
+        assert!(Master::place_grouped(0, 8, 3, 2, 1).is_err());
+        assert!(Master::place_grouped(10, 12, 3, 4, 1).is_ok());
     }
 
     #[test]

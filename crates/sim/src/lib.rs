@@ -39,9 +39,11 @@ mod collect;
 mod engine;
 pub mod rng;
 mod server;
+pub mod shard;
 mod time;
 
 pub use collect::{Counter, Tally, TimeWeighted};
 pub use engine::{run, Engine, TimerHandle};
 pub use server::ServerPool;
+pub use shard::{shard_ranges, Envelope, Outbox, ShardedEngine};
 pub use time::{SimDuration, SimTime};

@@ -1,5 +1,5 @@
 //! TCP/IP incast: many servers answering one request collapse the
-//! client's ingress link.
+//! client's ingress link — modeled on the *sharded* engine.
 //!
 //! §4: "since information on job/task ids is recorded the model can
 //! replicate effects like the TCP/IP incast problem, or other events
@@ -9,13 +9,29 @@
 //! *degrades* completion time once the link saturates — the incast
 //! signature.
 //!
+//! The model is split across two shards, the minimal sharded simulation:
+//! shard 1 owns the chunkservers (parallel disk reads), shard 0 owns the
+//! client NIC. Each stripe response is a cross-shard message buffered in
+//! shard 1's [`kooza_sim::Outbox`] and delivered at the next window barrier in
+//! canonical order — the same [`ShardedEngine`] machinery `kooza-gfs`
+//! uses for whole-cluster runs, at example scale.
+//!
 //! Run with: `cargo run --example incast`
 
-use kooza_sim::{Engine, ServerPool, SimDuration, SimTime};
+use kooza_sim::{Engine, ServerPool, ShardedEngine, SimDuration, SimTime};
+
+/// Events local to one shard's engine. The disk shard only ever sees
+/// `StripeReady`; the client shard sees `StripeArrived` (a delivered
+/// cross-shard message) and its own `LinkDone` completions.
+#[derive(Debug)]
+enum Ev {
+    StripeReady,
+    StripeArrived(u64),
+    LinkDone,
+}
 
 /// One striped-read completion time: `fanout` servers each return
-/// `total_bytes / fanout`, all entering the client's link at ~the same
-/// moment (after their disk reads complete).
+/// `total_bytes / fanout`, all converging on the client's single link.
 fn striped_read_completion(
     total_bytes: u64,
     fanout: u64,
@@ -23,42 +39,68 @@ fn striped_read_completion(
     per_message_latency: SimDuration,
     disk_secs_per_stripe: f64,
 ) -> SimDuration {
-    #[derive(Debug)]
-    enum Ev {
-        StripeReady,
-        LinkDone,
-    }
-    let mut engine: Engine<Ev> = Engine::new();
-    // The client NIC: one channel, FIFO.
-    let mut link: ServerPool<u64> = ServerPool::new(1);
+    const CLIENT: usize = 0;
+    const SERVERS: usize = 1;
     let stripe = total_bytes / fanout.max(1);
     let transfer = |bytes: u64| {
         per_message_latency + SimDuration::from_secs_f64(bytes as f64 / link_bytes_per_sec)
     };
+
+    // Two shards in lockstep 100 µs windows: stripes cross between them
+    // at barrier instants, so the disk shard can run arbitrarily far into
+    // a window without ever seeing the client shard mid-state.
+    let mut barrier: ShardedEngine<u64> = ShardedEngine::new(2, SimDuration::from_micros(100));
+    let mut outboxes = barrier.outboxes();
+    let mut engines: Vec<Engine<Ev>> = vec![Engine::new(), Engine::new()];
+
+    // The client NIC: one channel, FIFO.
+    let mut link: ServerPool<u64> = ServerPool::new(1);
     // Disk reads are parallel across servers; each stripe becomes ready
     // after its server's (size-dependent) disk time.
     for _ in 0..fanout {
         let disk = SimDuration::from_secs_f64(
             disk_secs_per_stripe + stripe as f64 / 100e6, // seek + transfer
         );
-        engine.schedule(disk, Ev::StripeReady);
+        engines[SERVERS].schedule(disk, Ev::StripeReady);
     }
+
     let mut remaining = fanout;
     let mut done_at = SimTime::ZERO;
-    while let Some((now, ev)) = engine.next() {
-        match ev {
-            Ev::StripeReady => {
-                if link.arrive(now, stripe).is_some() {
-                    engine.schedule(transfer(stripe), Ev::LinkDone);
+    loop {
+        let until = barrier.window_end();
+        // Step each shard through its window. (kooza-gfs drives this same
+        // loop with `kooza_exec::par_for_each_mut`; two tiny shards keep
+        // the example serial and dependency-free.)
+        for (shard, engine) in engines.iter_mut().enumerate() {
+            while engine.peek_time().is_some_and(|t| t < until) {
+                let (now, ev) = engine.next().expect("peeked");
+                match ev {
+                    Ev::StripeReady => outboxes[SERVERS].send(CLIENT, now, stripe),
+                    Ev::StripeArrived(bytes) => {
+                        if link.arrive(now, bytes).is_some() {
+                            engine.schedule(transfer(bytes), Ev::LinkDone);
+                        }
+                    }
+                    Ev::LinkDone => {
+                        remaining -= 1;
+                        done_at = now;
+                        if let Some(bytes) = link.complete(now) {
+                            engine.schedule(transfer(bytes), Ev::LinkDone);
+                        }
+                    }
                 }
+                debug_assert!(shard == CLIENT || matches!(ev, Ev::StripeReady));
             }
-            Ev::LinkDone => {
-                remaining -= 1;
-                done_at = now;
-                if let Some(bytes) = link.complete(now) {
-                    engine.schedule(transfer(bytes), Ev::LinkDone);
-                }
+        }
+        let inboxes = barrier.exchange(outboxes.iter_mut());
+        let delivered: usize = inboxes.iter().map(Vec::len).sum();
+        for (shard, inbox) in inboxes.into_iter().enumerate() {
+            for env in inbox {
+                engines[shard].schedule_at(until, Ev::StripeArrived(env.msg));
             }
+        }
+        if delivered == 0 && engines.iter_mut().all(|e| e.peek_time().is_none()) {
+            break;
         }
     }
     assert_eq!(remaining, 0);
@@ -71,7 +113,7 @@ fn main() {
     let per_msg = SimDuration::from_micros(200); // per-response overhead
     let disk = 0.004; // 4 ms positioning per stripe
 
-    println!("4 MB striped read over a 1 GbE client link:");
+    println!("4 MB striped read over a 1 GbE client link (2-shard simulation):");
     println!(
         "{:>8} {:>14} {:>16} {:>18}",
         "fan-out", "stripe (KB)", "completion (ms)", "goodput (MB/s)"

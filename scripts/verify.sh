@@ -41,6 +41,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== benchmarks compile and smoke-run =="
 cargo bench --offline -p kooza-bench --bench micro -- --mode smoke >/dev/null
+cargo bench --offline -p kooza-bench --bench shard -- --mode smoke >/dev/null
 
 echo "== KTC trace format: property, corruption and golden-fixture suites =="
 # The binary columnar format is gated on the JSONL oracle: round-trip
@@ -69,5 +70,11 @@ echo "== fault determinism: outcomes and obs identical under a nonzero fault pla
 # per-request outcome log and stripped obs report must still be
 # byte-identical at 1/2/8 threads.
 KOOZA_THREADS=8 cargo test -q --offline --test fault_determinism
+
+echo "== shard determinism: sharded tables/logs/obs identical at KOOZA_THREADS=8 =="
+# The test sweeps 1/2/8 threads x 1/4 shards (healthy and fault-injected)
+# internally; the env var exercises the sizing path on top. Shards=1 also
+# pins the sharded entry point bit-identical to the single-engine path.
+KOOZA_THREADS=8 cargo test -q --offline --test shard_determinism
 
 echo "verify: OK"

@@ -264,3 +264,65 @@ fn percentiles_monotone() {
         },
     );
 }
+
+/// The shard mailbox exchange delivers every message to its destination
+/// in canonical `(time, shard, seq)` order, conserves the message count,
+/// and is invariant under the order outboxes reach the barrier — the
+/// invariant `kooza-gfs`'s sharded cluster determinism rests on.
+#[test]
+fn mailbox_exchange_is_canonical_and_permutation_invariant() {
+    use kooza_sim::{Envelope, ShardedEngine};
+    checker("mailbox_exchange_canonical").run(
+        zip3(
+            usize_range(1, 6), // shard count
+            // messages: (sender, destination, send-time offset) triples,
+            // folded into range by the property so every case is valid.
+            vec_of(zip3(usize_range(0, 63), usize_range(0, 63), u64_range(0, 500)), 0, 120),
+            u64_range(0, 3), // extra empty windows to interleave
+            ),
+        |(n_shards, sends, spins): &(usize, Vec<(usize, usize, u64)>, u64)| {
+            let n = *n_shards;
+            let run = |permute: bool| -> (Vec<Vec<Envelope<u64>>>, u64) {
+                let mut eng: ShardedEngine<u64> =
+                    ShardedEngine::new(n, SimDuration::from_micros(10));
+                let mut boxes = eng.outboxes();
+                for _ in 0..*spins {
+                    let _ = eng.exchange(boxes.iter_mut());
+                }
+                for (i, &(from, to, at)) in sends.iter().enumerate() {
+                    boxes[from % n].send(to % n, kooza_sim::SimTime::from_nanos(at), i as u64);
+                }
+                let inboxes = if permute {
+                    // Hand the outboxes over in reverse shard order.
+                    eng.exchange(boxes.iter_mut().rev())
+                } else {
+                    eng.exchange(boxes.iter_mut())
+                };
+                (inboxes, eng.messages())
+            };
+            let (inboxes, messages) = run(false);
+            let (permuted, _) = run(true);
+            ensure!(inboxes == permuted, "outbox handover order leaked into delivery");
+            let delivered: usize = inboxes.iter().map(Vec::len).sum();
+            ensure!(delivered == sends.len(), "{delivered} of {} delivered", sends.len());
+            ensure!(messages == sends.len() as u64, "message counter drifted");
+            for (to, inbox) in inboxes.iter().enumerate() {
+                for pair in inbox.windows(2) {
+                    let (a, b) = (&pair[0], &pair[1]);
+                    ensure!(
+                        (a.at, a.from, a.seq) < (b.at, b.from, b.seq),
+                        "inbox {to} out of canonical order: \
+                         ({:?},{},{}) !< ({:?},{},{})",
+                        a.at, a.from, a.seq, b.at, b.from, b.seq
+                    );
+                }
+                // Every delivered payload really was addressed here.
+                for env in inbox {
+                    let (_, sent_to, _) = sends[env.msg as usize];
+                    ensure!(sent_to % n == to, "message {} leaked to shard {to}", env.msg);
+                }
+            }
+            Ok(())
+        },
+    );
+}
