@@ -1,0 +1,157 @@
+//! Shared-fabric benchmark: the flow-level rack/spine fabric vs the
+//! ideal fixed-service links, plus the incast degradation curve.
+//!
+//! Wall-clock benches measure what the fabric costs the simulator (flow
+//! re-rating on every start/finish). The `notes.incast` table in the
+//! JSON report (`KOOZA_BENCH_JSON`, archived as `BENCH_fabric.json`)
+//! records *simulated* completion times of an N-to-1 incast with
+//! timeout/restart recovery: past the point where the fair share per
+//! flow can no longer beat the timeout, restarts pile load onto the
+//! saturated receiver link and completion time degrades super-linearly
+//! in the fan-out — the regime a fixed-capacity link model cannot
+//! express at all.
+
+use std::hint::black_box;
+
+use kooza_bench::harness::Harness;
+use kooza_gfs::{Cluster, ClusterConfig, Topology, WorkloadMix};
+use kooza_json::Json;
+use kooza_sim::{Endpoint, Fabric, SimDuration, SimTime};
+
+const BW: f64 = 125e6; // 1 GbE receiver link, bytes/sec
+const LAT: SimDuration = SimDuration::from_micros(100);
+const STRIPE: u64 = 256 * 1024;
+/// Senders give a stripe this long to finish before restarting it.
+const TIMEOUT: SimDuration = SimDuration::from_micros(25_000);
+
+/// One sender's state in the incast driver.
+#[derive(Clone, Copy)]
+enum Sender {
+    /// Waiting to (re)transmit at the given instant.
+    Waiting(SimTime),
+    /// Transmitting flow `id`, which times out at the given instant.
+    Active(u64, SimTime),
+    Done,
+}
+
+/// Simulated completion time of `fanout` servers each pushing one
+/// `STRIPE`-byte response at host 0 across a rack:4 oversub:2 fabric,
+/// restarting any stripe that misses `TIMEOUT` after a linear backoff
+/// (staggered per sender so the retry storm eventually drains).
+/// Returns `(completion, restarts)`.
+fn incast(fanout: usize) -> (SimDuration, u64) {
+    let mut fabric = Fabric::new(fanout + 1, 4, 2.0, BW, LAT);
+    let mut senders = vec![Sender::Waiting(SimTime::ZERO); fanout];
+    let mut restarts = 0u64;
+    let mut now = SimTime::ZERO;
+    let mut remaining = fanout;
+    while remaining > 0 {
+        // Next instant anything happens: a fabric rate change, a sender
+        // (re)start, or a timeout deadline.
+        let mut next = fabric.next_change().unwrap_or(SimTime::MAX).min(SimTime::MAX);
+        for s in &senders {
+            match *s {
+                Sender::Waiting(at) => next = next.min(at),
+                Sender::Active(_, deadline) => next = next.min(deadline),
+                Sender::Done => {}
+            }
+        }
+        assert!(next > now || now == SimTime::ZERO, "incast driver stalled at {now}");
+        now = next;
+        let completed = fabric.advance(now);
+        for (i, sender) in senders.iter_mut().enumerate() {
+            match *sender {
+                Sender::Active(id, deadline) => {
+                    if completed.contains(&id) {
+                        *sender = Sender::Done;
+                        remaining -= 1;
+                    } else if deadline <= now {
+                        // Missed the timeout: drop the half-sent stripe
+                        // and retransmit from scratch after a backoff
+                        // staggered by sender index.
+                        fabric.cancel_flow(id);
+                        restarts += 1;
+                        let backoff = TIMEOUT + SimDuration::from_micros(200 * (i as u64 + 1));
+                        *sender = Sender::Waiting(now + backoff);
+                    }
+                }
+                Sender::Waiting(at) if at <= now => {
+                    let id = fabric.start_flow(Endpoint::Host(i + 1), Endpoint::Host(0), STRIPE);
+                    *sender = Sender::Active(id, now + TIMEOUT);
+                }
+                _ => {}
+            }
+        }
+    }
+    (now - SimTime::ZERO, restarts)
+}
+
+/// The cluster the wall-clock benches run: same shape as the shard
+/// bench, with the topology switched between ideal links and the fabric.
+fn bench_config(topology: Topology) -> ClusterConfig {
+    let mut config = ClusterConfig::cluster(16);
+    config.workload = WorkloadMix {
+        mean_interarrival_secs: 0.001,
+        n_chunks: 4_000,
+        ..WorkloadMix::mixed()
+    };
+    config.topology = topology;
+    config
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    h.set_topology("rack:4:2");
+    let n_requests: u64 = if h.is_full() { 200_000 } else { 2_000 };
+
+    // Simulated incast curve (deterministic, mode-independent).
+    let fanouts = [1usize, 2, 4, 8, 16, 32];
+    let mut curve = Vec::new();
+    println!("incast into one 1 GbE host (rack:4:2 fabric, {} KB stripes, {} ms timeout):", STRIPE / 1024, TIMEOUT.as_millis_f64());
+    println!("{:>8} {:>16} {:>10} {:>14}", "fan-out", "completion (ms)", "restarts", "ms per stripe");
+    for fanout in fanouts {
+        let (t, restarts) = incast(fanout);
+        let ms = t.as_millis_f64();
+        println!("{:>8} {:>16.2} {:>10} {:>14.2}", fanout, ms, restarts, ms / fanout as f64);
+        curve.push(Json::Object(vec![
+            ("fanout".into(), Json::U64(fanout as u64)),
+            ("completion_ms".into(), Json::F64(ms)),
+            ("restarts".into(), Json::U64(restarts)),
+            ("ms_per_stripe".into(), Json::F64(ms / fanout as f64)),
+        ]));
+    }
+    h.note("incast", Json::Array(curve.clone()));
+
+    // Super-linearity guard: growing the fan-out 4x from the last
+    // timeout-free point must cost more than 4x in completion time
+    // (the restart storm, not just the longer queue).
+    let ms_at = |f: usize| {
+        let idx = fanouts.iter().position(|&x| x == f).unwrap();
+        curve[idx].get("completion_ms").unwrap().as_f64().unwrap()
+    };
+    assert!(
+        ms_at(32) > 4.0 * 1.5 * ms_at(8),
+        "incast degradation is not super-linear: {} ms at 8, {} ms at 32",
+        ms_at(8),
+        ms_at(32)
+    );
+
+    // Wall-clock cost of the fabric machinery itself.
+    h.bench_function("fabric_incast_32", |b| b.iter(|| black_box(incast(32))));
+
+    let ideal = bench_config(Topology::None);
+    h.bench_function("cluster_ideal_links", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(&ideal).unwrap();
+            black_box(cluster.run(n_requests, 42).stats.completed)
+        })
+    });
+    let rack = bench_config(Topology::Rack { servers_per_rack: 4, oversub: 2.0 });
+    h.bench_function("cluster_rack_fabric", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(&rack).unwrap();
+            black_box(cluster.run(n_requests, 42).stats.completed)
+        })
+    });
+    h.finish();
+}

@@ -1,0 +1,109 @@
+//! EXP-N — the oversubscribed-uplink regime: where the queueing
+//! abstraction stops tracking the cluster.
+//!
+//! The paper's cross-examination pits trace-trained workload models
+//! against each other on regimes their structure can or cannot express.
+//! This experiment does the same for the *network* abstraction. A
+//! per-server queueing model (kooza-queueing M/G/1, parameterized from
+//! light-load service times — exactly what one would fit from a
+//! single-server trace) treats every chunkserver as an independent
+//! station with a private, fixed-capacity link. The shared-bandwidth
+//! fabric (`--topology rack:4:2`) routes the same requests over real
+//! rack uplinks carrying only half the hosts' aggregate bandwidth.
+//!
+//! The workload is built to be network-bound (4 MB streaming reads off
+//! fast disks), and the sweep holds every *per-server* utilization under
+//! one while the *shared uplink* utilization crosses one. The M/G/1 and
+//! the ideal-link simulation agree throughout — they share the
+//! independent-station assumption. The fabric run departs super-linearly
+//! the moment the uplinks saturate: a regime the per-server view is not
+//! imprecise about but structurally blind to.
+
+use kooza_bench::{banner, section, EXPERIMENT_SEED};
+use kooza_gfs::{Cluster, ClusterConfig, DiskParams, Topology, WorkloadMix};
+use kooza_queueing::analytic::mg1;
+
+const SERVERS: usize = 16;
+const REQUESTS: u64 = 3_000;
+
+/// Network-bound cluster: 4 MB streaming reads, SSD-class disks, so the
+/// per-request service time is dominated by the 1 GbE egress link.
+fn config(topology: Topology, mean_interarrival_secs: f64) -> ClusterConfig {
+    let mut config = ClusterConfig::cluster(SERVERS);
+    config.disk = DiskParams {
+        seek_base_secs: 50e-6,
+        seek_full_secs: 100e-6,
+        transfer_bytes_per_sec: 2e9,
+        ..DiskParams::default()
+    };
+    config.workload = WorkloadMix {
+        read_size: 4 * 1024 * 1024,
+        n_chunks: 4_000,
+        mean_interarrival_secs,
+        ..WorkloadMix::read_heavy()
+    };
+    config.topology = topology;
+    config
+}
+
+/// Mean end-to-end latency (seconds) of a simulated run.
+fn simulate(topology: Topology, interarrival: f64) -> f64 {
+    let cfg = config(topology, interarrival);
+    let outcome = Cluster::new(&cfg).expect("valid config").run(REQUESTS, EXPERIMENT_SEED);
+    let n = outcome.requests.len().max(1) as f64;
+    outcome.requests.iter().map(|r| r.latency_nanos as f64).sum::<f64>() / n / 1e9
+}
+
+fn main() {
+    banner("EXP-N", "cross-examining the network abstraction: M/G/1 vs shared fabric");
+
+    let rack = Topology::Rack { servers_per_rack: 4, oversub: 2.0 };
+
+    // Parameterize the per-server M/G/1 from a light-load run — the
+    // same calibration a modeler with a single-server trace would do.
+    let light_latency = simulate(Topology::None, 0.02);
+    let scv = 0.2; // near-deterministic 4 MB streaming service
+    section(&format!(
+        "calibration at light load: mean service {:.3} ms per 4 MB read",
+        light_latency * 1e3
+    ));
+
+    println!(
+        "\n{:>14} {:>12} {:>12} {:>12} {:>14} {:>14} {:>12}",
+        "interarrival", "rho/server", "rho/uplink", "M/G/1 (ms)", "ideal sim (ms)", "fabric (ms)", "fabric/MG1"
+    );
+    for &interarrival in &[0.0094f64, 0.007, 0.0047, 0.0038, 0.003] {
+        let lambda_server = 1.0 / interarrival / SERVERS as f64;
+        let rho_server = lambda_server * light_latency;
+        // Four hosts share a rack uplink of twice the host bandwidth, so
+        // the shared link runs at double the per-server utilization.
+        let rho_uplink = 2.0 * rho_server;
+        let predicted = mg1(lambda_server, light_latency, scv)
+            .map(|m| m.mean_response)
+            .unwrap_or(f64::INFINITY);
+        let ideal = simulate(Topology::None, interarrival);
+        let fabric = simulate(rack, interarrival);
+        println!(
+            "{:>12} s {:>12.2} {:>12.2} {:>12.1} {:>14.1} {:>14.1} {:>11.1}x",
+            interarrival,
+            rho_server,
+            rho_uplink,
+            predicted * 1e3,
+            ideal * 1e3,
+            fabric * 1e3,
+            fabric / predicted
+        );
+    }
+
+    println!(
+        "\ncross-examination verdict: below uplink saturation all three\n\
+         columns agree. Past rho/uplink = 1 the per-server M/G/1 and the\n\
+         ideal-link simulation stay glued together — every station they\n\
+         can see is still under-utilized — while the shared-fabric runs\n\
+         depart by an order of magnitude. A workload model that never\n\
+         records which machines share a bottleneck cannot predict this\n\
+         regime, however well its per-station marginals fit: the same\n\
+         structural argument the paper makes for request-id-aware models\n\
+         and the TCP/IP incast effect."
+    );
+}

@@ -121,6 +121,13 @@ pub struct Harness {
     baseline: Option<(String, Vec<(String, f64)>)>,
     /// Shard count the cluster benches ran with, stamped into `meta`.
     shards: Option<u64>,
+    /// Network topology the cluster benches ran with (`--topology`
+    /// syntax, e.g. `rack:4:2`), stamped into `meta`.
+    topology: Option<String>,
+    /// Free-form `notes` appended to the JSON report: derived,
+    /// deterministic measurements (simulated completion curves, sweep
+    /// tables) that wall-clock samples cannot express.
+    notes: Vec<(String, Json)>,
     results: Vec<BenchResult>,
 }
 
@@ -167,7 +174,15 @@ impl Harness {
                 .unwrap_or_else(|e| panic!("loading --baseline {path}: {e}"));
             (path, medians)
         });
-        Harness { full, filter, baseline, shards: None, results: Vec::new() }
+        Harness {
+            full,
+            filter,
+            baseline,
+            shards: None,
+            topology: None,
+            notes: Vec::new(),
+            results: Vec::new(),
+        }
     }
 
     /// Whether this run is in full (measured) mode rather than smoke
@@ -182,6 +197,22 @@ impl Harness {
     /// archived BENCH_*.json files must say what sharding they measured.
     pub fn set_shards(&mut self, shards: u64) {
         self.shards = Some(shards);
+    }
+
+    /// Stamps the network topology the cluster benches ran with into the
+    /// JSON report's `meta` object, in `--topology` syntax (`none`,
+    /// `rack:4:2`, ...) — archived BENCH_*.json files must say which
+    /// fabric they measured.
+    pub fn set_topology(&mut self, topology: &str) {
+        self.topology = Some(topology.to_string());
+    }
+
+    /// Attaches a named JSON value to the report's `notes` object —
+    /// for deterministic derived measurements (e.g. a simulated incast
+    /// completion-time curve) that belong next to the wall-clock samples
+    /// in an archived BENCH_*.json.
+    pub fn note(&mut self, key: &str, value: Json) {
+        self.notes.push((key.to_string(), value));
     }
 
     /// Number of warmup iterations before measurement starts.
@@ -300,6 +331,13 @@ impl Harness {
             }
             (_, meta) => meta,
         };
+        let meta = match (&self.topology, meta) {
+            (Some(topology), Json::Object(mut fields)) => {
+                fields.push(("topology".into(), Json::str(topology.clone())));
+                Json::Object(fields)
+            }
+            (_, meta) => meta,
+        };
         let mut report = vec![
             ("meta".into(), meta),
             (
@@ -307,6 +345,9 @@ impl Harness {
                 Json::Array(self.results.iter().map(ToJson::to_json).collect()),
             ),
         ];
+        if !self.notes.is_empty() {
+            report.push(("notes".into(), Json::Object(self.notes.clone())));
+        }
         if let Some((path, _)) = &self.baseline {
             let diffs = self.baseline_diffs();
             report.push((
@@ -501,6 +542,8 @@ mod tests {
             filter: None,
             baseline: None,
             shards: Some(4),
+            topology: Some("rack:4:2".into()),
+            notes: vec![("incast".into(), Json::U64(7))],
             results: vec![BenchResult {
                 name: "demo".into(),
                 samples: 30,
@@ -520,8 +563,11 @@ mod tests {
         assert_eq!(meta.field("samples_per_bench").unwrap().as_f64(), Some(30.0));
         assert_eq!(meta.field("total_samples").unwrap().as_f64(), Some(30.0));
         assert_eq!(meta.field("shards").unwrap().as_f64(), Some(4.0));
+        assert_eq!(meta.field("topology").unwrap().as_str(), Some("rack:4:2"));
         let results = json.field("results").unwrap().as_array().unwrap();
         assert_eq!(results.len(), 1);
+        let notes = json.field("notes").unwrap();
+        assert_eq!(notes.field("incast").unwrap().as_f64(), Some(7.0));
     }
 
     #[test]
@@ -530,6 +576,8 @@ mod tests {
             full: true,
             filter: None,
             shards: None,
+            topology: None,
+            notes: vec![],
             baseline: Some((
                 "old.json".into(),
                 vec![
@@ -605,7 +653,15 @@ mod tests {
         let s = kooza_json::to_string(&plain.to_json());
         assert!(!s.contains("mb_per_sec"), "{s}");
 
-        let mut h = Harness { full: false, filter: None, baseline: None, shards: None, results: vec![] };
+        let mut h = Harness {
+            full: false,
+            filter: None,
+            baseline: None,
+            shards: None,
+            topology: None,
+            notes: vec![],
+            results: vec![],
+        };
         h.bench_throughput("tp", 4096, |b| b.iter(|| std::hint::black_box(1 + 1)));
         assert_eq!(h.results.len(), 1);
         assert_eq!(h.results[0].bytes, Some(4096));

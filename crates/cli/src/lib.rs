@@ -21,7 +21,7 @@ use kooza::class::assemble_observations;
 use kooza::crossexam::cross_examine;
 use kooza::validate::validate;
 use kooza::{fault_drift, InBreadthModel, InDepthModel, Kooza, ReplayConfig, WorkloadModel};
-use kooza_gfs::{Cluster, ClusterConfig, FaultSpec, WorkloadMix};
+use kooza_gfs::{Cluster, ClusterConfig, FaultSpec, Topology, WorkloadMix};
 use kooza_sim::rng::Rng64;
 use kooza_trace::characterize::{arrival_profile, cpu_profile, memory_profile, storage_profile};
 use kooza_trace::{TraceFormat, TraceSet};
@@ -33,7 +33,7 @@ usage: kooza <command> [options]
 commands:
   simulate     --out <path> [--requests N] [--seed S] [--workload read|write|mixed]
                [--servers K] [--consult-master] [--faults <spec>]
-               [--shards N|auto]
+               [--shards N|auto] [--topology none|rack:<spr>:<oversub>]
                run the GFS simulator and write a trace (JSONL or KTC)
   characterize --trace <path>
                per-subsystem workload profiles of a trace
@@ -74,6 +74,14 @@ trace formats (any command reading --trace or writing --out):
   --format     jsonl|ktc; when omitted, a .ktc extension selects KTC,
                otherwise reads sniff the KTC magic bytes (falling back to
                JSONL) and writes default to JSONL
+
+network topology (simulate, crossexam --faults):
+  --topology   `none` (the default): every server owns an uncontended
+               full-rate link in each direction, exactly as before.
+               `rack:<spr>:<oversub>`: a rack/spine fabric with <spr>
+               servers per rack and rack uplinks carrying 1/<oversub> of
+               their hosts' aggregate bandwidth (1 <= oversub <= spr);
+               concurrent transfers share links max-min fairly
 
 sharded simulation (simulate, crossexam --faults):
   --shards     number of server-group shards, each with its own event
@@ -248,6 +256,15 @@ fn parse_faults(opts: &Options) -> Result<Option<FaultSpec>, CliError> {
         .transpose()
 }
 
+/// `--topology none|rack:<spr>:<oversub>`; `Topology::None` when absent,
+/// keeping every report byte-identical to the pre-fabric CLI.
+fn parse_topology(opts: &Options) -> Result<Topology, CliError> {
+    match opts.get("topology") {
+        None => Ok(Topology::None),
+        Some(v) => Topology::parse(v).map_err(|e| err(format!("--topology: {e}"))),
+    }
+}
+
 /// `--shards N|auto`, resolved against the cluster: `auto` (and the
 /// option's absence) picks [`kooza_gfs::default_shards`], and any request
 /// is clamped so every shard group holds a full replica set — mirroring
@@ -324,6 +341,7 @@ fn simulate(opts: &Options) -> Result<String, CliError> {
     config.workload = workload;
     config.consult_master = opts.has_flag("consult-master");
     config.faults = parse_faults(opts)?;
+    config.topology = parse_topology(opts)?;
     let shards = parse_shards(opts, &config)?;
     let mut cluster = Cluster::new(&config).map_err(|e| err(e.to_string()))?;
     let outcome = cluster.run_sharded(requests, seed, shards);
@@ -333,11 +351,14 @@ fn simulate(opts: &Options) -> Result<String, CliError> {
         .trace
         .write_file(Path::new(out), format)
         .map_err(|e| err(format!("cannot write {out}: {e}")))?;
-    let shard_note = if shards > 1 {
+    let mut shard_note = if shards > 1 {
         format!(", {shards} shards")
     } else {
         String::new()
     };
+    if let Topology::Rack { servers_per_rack, oversub } = config.topology {
+        shard_note += &format!(", rack fabric {servers_per_rack}:{oversub}");
+    }
     let mut report = format!(
         "simulated {} requests on {} server(s){shard_note} (seed {seed})\n\
          throughput {:.1} req/s | mean latency {:.3} ms | cache hit {:.1}%\n\
@@ -487,6 +508,7 @@ fn crossexam(opts: &Options) -> Result<String, CliError> {
     let (trace, path) = if let Some(faults) = parse_faults(opts)? {
         let (mut config, requests) = fault_mode_config(opts)?;
         config.faults = Some(faults);
+        config.topology = parse_topology(opts)?;
         let shards = parse_shards(opts, &config)?;
         let mut cluster = Cluster::new(&config).map_err(|e| err(e.to_string()))?;
         let outcome = cluster.run_sharded(requests, seed, shards);
@@ -814,6 +836,80 @@ mod tests {
         cleanup(&p);
         assert!(run(&args("simulate --out /tmp/x --shards 0")).is_err());
         assert!(run(&args("simulate --out /tmp/x --shards nope")).is_err());
+    }
+
+    #[test]
+    fn simulate_topology_flag_reports_and_stays_deterministic() {
+        let p1 = temp_path("topo1");
+        let p2 = temp_path("topo2");
+        let cmd = |p: &str| {
+            format!("simulate --out {p} --requests 300 --seed 6 --servers 12 --topology rack:4:2")
+        };
+        let out = run(&args(&cmd(&p1))).unwrap();
+        assert!(out.contains("12 server(s), rack fabric 4:2"), "{out}");
+        run(&args(&cmd(&p2))).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&p1).unwrap(),
+            std::fs::read_to_string(&p2).unwrap()
+        );
+        cleanup(&p1);
+        cleanup(&p2);
+
+        // `--topology none` is spelled out but changes nothing: output and
+        // report are byte-identical to a run without the option.
+        let legacy = temp_path("topo-legacy");
+        let none = temp_path("topo-none");
+        let base = run(&args(&format!(
+            "simulate --out {legacy} --requests 200 --seed 7 --servers 8"
+        )))
+        .unwrap();
+        let spelled = run(&args(&format!(
+            "simulate --out {none} --requests 200 --seed 7 --servers 8 --topology none"
+        )))
+        .unwrap();
+        // Reports differ only in the output path on the final line.
+        assert_eq!(
+            base.lines().take(2).collect::<Vec<_>>(),
+            spelled.lines().take(2).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            std::fs::read_to_string(&legacy).unwrap(),
+            std::fs::read_to_string(&none).unwrap()
+        );
+        cleanup(&legacy);
+        cleanup(&none);
+    }
+
+    #[test]
+    fn topology_bad_values_are_rejected() {
+        for bad in ["mesh", "rack", "rack:0:2", "rack:4:0.5", "rack:4:8", "rack:four:2"] {
+            let r = run(&args(&format!("simulate --out /tmp/x --topology {bad}")));
+            assert!(r.is_err(), "`--topology {bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn degenerate_shard_configs_clamp_to_a_single_engine() {
+        // Fewer servers than the replication factor: the integer division
+        // bottoms out at zero and the clamp must recover to one shard, not
+        // panic or produce an empty placement group.
+        let mut config = ClusterConfig::cluster(2);
+        config.replication = 3;
+        let opts = Options::parse(&args("--shards 8")).unwrap();
+        assert_eq!(parse_shards(&opts, &config).unwrap(), 1);
+        let opts = Options::parse(&args("--shards auto")).unwrap();
+        assert_eq!(parse_shards(&opts, &config).unwrap(), 1);
+
+        // A pathological zero-replication config must not divide by zero;
+        // it caps at one shard per server instead.
+        config.replication = 0;
+        let opts = Options::parse(&args("--shards 4")).unwrap();
+        assert_eq!(parse_shards(&opts, &config).unwrap(), 2);
+
+        // And the degenerate single-server cluster stays at one shard.
+        let config = ClusterConfig::cluster(1);
+        let opts = Options::parse(&args("--shards auto")).unwrap();
+        assert_eq!(parse_shards(&opts, &config).unwrap(), 1);
     }
 
     #[test]

@@ -14,14 +14,14 @@
 use std::collections::HashMap;
 
 use kooza_sim::rng::Rng64;
-use kooza_sim::{Engine, ServerPool, SimDuration, SimTime, Tally, TimerHandle};
+use kooza_sim::{Endpoint, Engine, Fabric, ServerPool, SimDuration, SimTime, Tally, TimerHandle};
 use kooza_stats::dist::{DiscreteDistribution, Distribution, Exponential, Zipf};
 use kooza_trace::record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
 use kooza_trace::span::{Span, SpanCollector, SpanId, TraceId};
 use kooza_trace::view::{ShardedTrace, TraceView};
 use kooza_trace::TraceSet;
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, Topology};
 use crate::fault::{FaultPlan, FaultSpec};
 use crate::hardware::{CpuModel, DiskModel, LinkModel, MemoryModel};
 use crate::master::{ChunkHandle, Master, LBNS_PER_CHUNK};
@@ -426,9 +426,107 @@ enum Ev {
     RequestTimeout { id: u64, attempt: u32 },
     /// The master repairs a chunk that lost `dead`'s replica.
     Rereplicate { chunk: ChunkHandle, dead: usize },
+    /// The shared-fabric wake-up: the earliest flow finish or gate
+    /// opening. Only scheduled when a rack topology is configured.
+    FabricTick,
     /// A cross-shard message delivered at a window barrier. Only sharded
     /// runs schedule this; the single-engine path never sees it.
     Msg(Box<sharded::ShardMsg>),
+}
+
+/// Shared-fabric state for one engine: the fluid-flow fabric itself, the
+/// completion event owed to each in-flight flow, and the single live
+/// wake-up timer armed at the fabric's next internal boundary.
+///
+/// Transfers that would have gone through a server's NIC pools instead
+/// become fabric flows; the stored event fires (at zero delay) when the
+/// flow drains. Completions are emitted in ascending flow id, and flow
+/// ids are issued in start order, so the schedule stays deterministic.
+#[derive(Debug)]
+struct FabricState {
+    fabric: Fabric,
+    done: HashMap<u64, Ev>,
+    tick: Option<TimerHandle>,
+}
+
+impl FabricState {
+    /// Builds fabric state when the config asks for a real topology;
+    /// `Topology::None` keeps the legacy fixed-service links.
+    fn build(cfg: &ClusterConfig) -> Option<FabricState> {
+        match cfg.topology {
+            Topology::None => None,
+            Topology::Rack { servers_per_rack, oversub } => Some(FabricState {
+                fabric: Fabric::new(
+                    cfg.n_chunkservers,
+                    servers_per_rack,
+                    oversub,
+                    cfg.link.bandwidth_bytes_per_sec,
+                    SimDuration::from_secs_f64(cfg.link.latency_secs),
+                ),
+                done: HashMap::new(),
+                tick: None,
+            }),
+        }
+    }
+
+    /// Advances the fluid model to `now`, firing the completion event of
+    /// every flow that drained.
+    fn sync(&mut self, engine: &mut Engine<Ev>, now: SimTime) {
+        for id in self.fabric.advance(now) {
+            if let Some(ev) = self.done.remove(&id) {
+                engine.schedule(SimDuration::ZERO, ev);
+            }
+        }
+    }
+
+    /// Re-arms the wake-up timer at the fabric's next boundary. The stale
+    /// timer is cancelled first: a leftover tick past the last completion
+    /// would stretch the measured makespan.
+    fn rearm(&mut self, engine: &mut Engine<Ev>, now: SimTime) {
+        if let Some(handle) = self.tick.take() {
+            engine.cancel(handle);
+        }
+        if let Some(at) = self.fabric.next_change() {
+            let delay = at.max(now) - now;
+            self.tick = Some(engine.schedule_cancellable(delay, Ev::FabricTick));
+        }
+    }
+
+    /// Starts a transfer; `done` fires when the flow drains.
+    fn transfer(
+        &mut self,
+        engine: &mut Engine<Ev>,
+        now: SimTime,
+        from: Endpoint,
+        to: Endpoint,
+        bytes: u64,
+        done: Ev,
+    ) {
+        self.sync(engine, now);
+        let id = self.fabric.start_flow(from, to, bytes);
+        self.done.insert(id, done);
+        self.rearm(engine, now);
+    }
+
+    /// A chunkserver crashed: every flow crossing its access links dies
+    /// with it (the completions never fire). Returns how many transfers
+    /// were lost.
+    fn fail_host(&mut self, engine: &mut Engine<Ev>, now: SimTime, host: usize) -> u64 {
+        self.sync(engine, now);
+        let dropped = self.fabric.fail_host(host);
+        for id in &dropped {
+            self.done.remove(id);
+        }
+        self.rearm(engine, now);
+        dropped.len() as u64
+    }
+
+    /// The wake-up timer fired: advance and re-arm.
+    fn on_tick(&mut self, engine: &mut Engine<Ev>, now: SimTime) {
+        self.tick = None;
+        self.sync(engine, now);
+        self.rearm(engine, now);
+    }
 }
 
 /// The cluster simulator.
@@ -567,6 +665,10 @@ impl Cluster {
         let mut rerep_jobs: HashMap<u64, RerepJob> = HashMap::new();
         let mut rerep_seq: u64 = 0;
         let mut finished: u64 = 0;
+        // Rack topology: network transfers share link bandwidth through
+        // the fluid fabric instead of the per-server NIC pools. `None`
+        // (the default) keeps the legacy path byte-identical.
+        let mut fabric = FabricState::build(cfg);
         let rng = &mut self.rng;
 
         if let Some(p) = &plan {
@@ -693,6 +795,7 @@ impl Cluster {
                         Self::send_attempt(
                             &mut engine,
                             &mut servers,
+                            &mut fabric,
                             &mut trace,
                             &mut server_of,
                             st,
@@ -744,6 +847,7 @@ impl Cluster {
                     Self::send_attempt(
                         &mut engine,
                         &mut servers,
+                        &mut fabric,
                         &mut trace,
                         &mut server_of,
                         st,
@@ -761,15 +865,18 @@ impl Cluster {
                     if epoch != epochs[server] {
                         continue; // a crash drained this station
                     }
-                    // Free the NIC; start the next queued ingress.
-                    if let Some((job, wire, is_rep, job_attempt)) =
-                        servers[server].net_in_pool.complete(now)
-                    {
-                        let service = servers[server].link.transfer(wire);
-                        engine.schedule(
-                            service,
-                            Ev::NetInDone { id: job, server, replica: is_rep, attempt: job_attempt, epoch },
-                        );
+                    // Free the NIC; start the next queued ingress. (The
+                    // fabric path never touches the NIC pools.)
+                    if fabric.is_none() {
+                        if let Some((job, wire, is_rep, job_attempt)) =
+                            servers[server].net_in_pool.complete(now)
+                        {
+                            let service = servers[server].link.transfer(wire);
+                            engine.schedule(
+                                service,
+                                Ev::NetInDone { id: job, server, replica: is_rep, attempt: job_attempt, epoch },
+                            );
+                        }
                     }
                     if id >= REREP_BASE {
                         // The chunk copy landed on its new home: write it
@@ -873,7 +980,18 @@ impl Cluster {
                             request_id: id,
                         };
                         trace.network.push(rec);
-                        servers[server].offer_net_out(&mut engine, now, server, epochs[server], (id, wire, attempt));
+                        if let Some(fab) = fabric.as_mut() {
+                            fab.transfer(
+                                &mut engine,
+                                now,
+                                Endpoint::Host(server),
+                                Endpoint::Client,
+                                wire,
+                                Ev::NetOutDone { id, server, attempt, epoch: epochs[server] },
+                            );
+                        } else {
+                            servers[server].offer_net_out(&mut engine, now, server, epochs[server], (id, wire, attempt));
+                        }
                     }
                 }
                 Ev::MemDone { id, server, attempt, epoch } => {
@@ -942,13 +1060,30 @@ impl Cluster {
                             // home over that server's ingress link.
                             if let Some(job) = rerep_jobs.get(&id) {
                                 let to = job.to;
-                                servers[to].offer_net_in(
-                                    &mut engine,
-                                    now,
-                                    to,
-                                    epochs[to],
-                                    (id, REREP_BYTES, true, 0),
-                                );
+                                if let Some(fab) = fabric.as_mut() {
+                                    fab.transfer(
+                                        &mut engine,
+                                        now,
+                                        Endpoint::Host(server),
+                                        Endpoint::Host(to),
+                                        REREP_BYTES,
+                                        Ev::NetInDone {
+                                            id,
+                                            server: to,
+                                            replica: true,
+                                            attempt: 0,
+                                            epoch: epochs[to],
+                                        },
+                                    );
+                                } else {
+                                    servers[to].offer_net_in(
+                                        &mut engine,
+                                        now,
+                                        to,
+                                        epochs[to],
+                                        (id, REREP_BYTES, true, 0),
+                                    );
+                                }
                             }
                         } else if let Some(job) = rerep_jobs.remove(&id) {
                             // Replacement copy is durable: commit it.
@@ -1046,13 +1181,30 @@ impl Cluster {
                             st.pending_replicas = fanout.len();
                             let size = st.size;
                             for rep in fanout {
-                                servers[rep].offer_net_in(
-                                    &mut engine,
-                                    now,
-                                    rep,
-                                    epochs[rep],
-                                    (id, size, true, attempt),
-                                );
+                                if let Some(fab) = fabric.as_mut() {
+                                    fab.transfer(
+                                        &mut engine,
+                                        now,
+                                        Endpoint::Host(server),
+                                        Endpoint::Host(rep),
+                                        size,
+                                        Ev::NetInDone {
+                                            id,
+                                            server: rep,
+                                            replica: true,
+                                            attempt,
+                                            epoch: epochs[rep],
+                                        },
+                                    );
+                                } else {
+                                    servers[rep].offer_net_in(
+                                        &mut engine,
+                                        now,
+                                        rep,
+                                        epochs[rep],
+                                        (id, size, true, attempt),
+                                    );
+                                }
                             }
                         }
                     } else {
@@ -1074,12 +1226,16 @@ impl Cluster {
                     if epoch != epochs[server] {
                         continue;
                     }
-                    if let Some((job, wire, job_attempt)) = servers[server].net_out_pool.complete(now) {
-                        let service = servers[server].link.transfer(wire);
-                        engine.schedule(
-                            service,
-                            Ev::NetOutDone { id: job, server, attempt: job_attempt, epoch },
-                        );
+                    if fabric.is_none() {
+                        if let Some((job, wire, job_attempt)) =
+                            servers[server].net_out_pool.complete(now)
+                        {
+                            let service = servers[server].link.transfer(wire);
+                            engine.schedule(
+                                service,
+                                Ev::NetOutDone { id: job, server, attempt: job_attempt, epoch },
+                            );
+                        }
                     }
                     match states.get(&id) {
                         Some(st) if st.attempt == attempt => {}
@@ -1145,6 +1301,11 @@ impl Cluster {
                         + s.net_in_pool.fail_all(now)
                         + s.net_out_pool.fail_all(now);
                     fstats.jobs_lost += lost as u64;
+                    if let Some(fab) = fabric.as_mut() {
+                        // Flows crossing the dead server's access links
+                        // are lost with it.
+                        fstats.jobs_lost += fab.fail_host(&mut engine, now, server);
+                    }
                     fstats.crashes += 1;
                     // In-flight re-replications touching the dead server
                     // are lost with it.
@@ -1274,6 +1435,7 @@ impl Cluster {
                     Self::send_attempt(
                         &mut engine,
                         &mut servers,
+                        &mut fabric,
                         &mut trace,
                         &mut server_of,
                         st,
@@ -1286,6 +1448,10 @@ impl Cluster {
                         &epochs,
                         &mut fstats,
                     );
+                }
+                Ev::FabricTick => {
+                    let fab = fabric.as_mut().expect("fabric ticks only exist with a topology");
+                    fab.on_tick(&mut engine, now);
                 }
                 Ev::Msg(_) => unreachable!("cross-shard messages only exist in sharded runs"),
             }
@@ -1337,6 +1503,14 @@ impl Cluster {
             faults: fstats,
         };
         self.publish_metrics(&stats, &outcomes);
+        if let Some(fab) = &fabric {
+            Self::publish_fabric_metrics(
+                fab.fabric.flows_started(),
+                fab.fabric.rerates(),
+                fab.fabric.bottleneck_busy(),
+                &fab.fabric.link_utilization(end),
+            );
+        }
         trace.spans = collector.spans().to_vec();
         trace.sort_by_time();
         // Partitioning the time-sorted trace keeps each server's records
@@ -1419,6 +1593,34 @@ impl Cluster {
         });
     }
 
+    /// Publishes one fabric's counters and per-link utilization to the
+    /// observability registry. Separate from [`Cluster::publish_metrics`]
+    /// so `--topology none` reports stay byte-identical to the
+    /// pre-fabric format. Commutative operations only (counter adds,
+    /// histogram records): sharded runs call this once per shard fabric
+    /// and totals are order-independent.
+    pub(crate) fn publish_fabric_metrics(
+        flows: u64,
+        rerates: u64,
+        bottleneck_busy: SimDuration,
+        utilization: &[f64],
+    ) {
+        if !kooza_obs::global::is_enabled() {
+            return;
+        }
+        /// Per-link utilization buckets, percent of capacity.
+        const UTIL_BOUNDS: &[u64] = &[1, 5, 10, 25, 50, 75, 90, 99, 100];
+        kooza_obs::global::with_registry(|reg| {
+            reg.counter_add("net.fabric.flows", flows);
+            reg.counter_add("net.fabric.rerates", rerates);
+            reg.counter_add("net.fabric.bottleneck_busy", bottleneck_busy.as_nanos());
+            let links = reg.histogram_mut("net.fabric.link_utilization", UTIL_BOUNDS);
+            for &u in utilization {
+                links.record((u * 100.0).round() as u64);
+            }
+        });
+    }
+
     /// Enqueues CPU stage 2 (aggregate/checksum) for a request.
     #[allow(clippy::too_many_arguments)]
     fn schedule_cpu_aggregate(
@@ -1457,6 +1659,7 @@ impl Cluster {
     fn send_attempt(
         engine: &mut Engine<Ev>,
         servers: &mut [Server],
+        fabric: &mut Option<FabricState>,
         trace: &mut TraceSet,
         server_of: &mut [usize],
         st: &mut ReqState,
@@ -1497,13 +1700,30 @@ impl Cluster {
                     direction: Direction::Ingress,
                     request_id: id,
                 });
-                servers[server].offer_net_in(
-                    engine,
-                    now,
-                    server,
-                    epochs[server],
-                    (id, wire, false, st.attempt),
-                );
+                if let Some(fab) = fabric {
+                    fab.transfer(
+                        engine,
+                        now,
+                        Endpoint::Client,
+                        Endpoint::Host(server),
+                        wire,
+                        Ev::NetInDone {
+                            id,
+                            server,
+                            replica: false,
+                            attempt: st.attempt,
+                            epoch: epochs[server],
+                        },
+                    );
+                } else {
+                    servers[server].offer_net_in(
+                        engine,
+                        now,
+                        server,
+                        epochs[server],
+                        (id, wire, false, st.attempt),
+                    );
+                }
             }
         }
         if let Some(f) = fault_spec {
@@ -1791,6 +2011,72 @@ mod tests {
         let out = run_small(WorkloadMix::mixed(), 0, 1);
         assert_eq!(out.stats.completed, 0);
         assert!(out.trace.is_empty());
+    }
+
+    /// An 8-server cluster on a rack fabric: 2 racks of 4, each uplink
+    /// carrying half its hosts' aggregate bandwidth.
+    fn rack_config(n: usize) -> ClusterConfig {
+        let mut config = ClusterConfig::cluster(n);
+        config.topology = Topology::Rack { servers_per_rack: 4, oversub: 2.0 };
+        config.workload = WorkloadMix::mixed();
+        config
+    }
+
+    #[test]
+    fn fabric_mode_completes_every_request() {
+        let out = Cluster::new(&rack_config(8)).unwrap().run(300, 41);
+        assert_eq!(out.stats.completed, 300);
+        assert_eq!(out.requests.len(), 300);
+        // Same trace shape as the legacy path: one ingress + one egress
+        // network record per request.
+        assert_eq!(out.trace.network.len(), 600);
+    }
+
+    #[test]
+    fn fabric_mode_is_deterministic_and_seed_sensitive() {
+        let config = rack_config(8);
+        let a = Cluster::new(&config).unwrap().run(250, 43);
+        let b = Cluster::new(&config).unwrap().run(250, 43);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.requests, b.requests);
+        let c = Cluster::new(&config).unwrap().run(250, 44);
+        assert_ne!(a.trace, c.trace);
+    }
+
+    #[test]
+    fn fabric_contention_slows_requests_versus_ideal_links() {
+        // Heavy load on shared links must cost latency relative to the
+        // legacy model, where every server owns an uncontended full-rate
+        // link in each direction.
+        let mut shared = rack_config(8);
+        shared.workload.mean_interarrival_secs = 0.002;
+        let mut ideal = shared.clone();
+        ideal.topology = Topology::None;
+        let on_fabric = Cluster::new(&shared).unwrap().run(300, 45);
+        let on_links = Cluster::new(&ideal).unwrap().run(300, 45);
+        assert_eq!(on_fabric.stats.completed, 300);
+        assert!(
+            on_fabric.stats.latency_secs.mean() > on_links.stats.latency_secs.mean(),
+            "fabric {} ideal {}",
+            on_fabric.stats.latency_secs.mean(),
+            on_links.stats.latency_secs.mean()
+        );
+    }
+
+    #[test]
+    fn fabric_faulty_run_resolves_every_request() {
+        let mut config = rack_config(8);
+        config.workload.mean_interarrival_secs = 0.1;
+        config.faults =
+            Some(FaultSpec::parse("mttf=1.5,mttr=0.3,timeout=0.4,retries=10,detect=0.1").unwrap());
+        let a = Cluster::new(&config).unwrap().run(400, 47);
+        let f = &a.stats.faults;
+        assert!(f.crashes > 0, "no crashes: {f:?}");
+        assert_eq!(a.stats.completed + f.requests_failed, 400);
+        let b = Cluster::new(&config).unwrap().run(400, 47);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.stats.faults, b.stats.faults);
     }
 
     use crate::fault::FaultSpec;

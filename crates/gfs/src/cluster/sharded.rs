@@ -52,7 +52,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use kooza_sim::rng::Rng64;
 use kooza_sim::{
-    shard_ranges, Engine, Outbox, ServerPool, ShardedEngine, SimDuration, SimTime, Tally,
+    shard_ranges, Endpoint, Engine, Outbox, ServerPool, ShardedEngine, SimDuration, SimTime,
+    Tally,
 };
 use kooza_stats::dist::{DiscreteDistribution, Distribution, Exponential, Zipf};
 use kooza_trace::record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
@@ -61,8 +62,8 @@ use kooza_trace::view::ShardedTrace;
 use kooza_trace::TraceSet;
 
 use super::{
-    Cluster, ClusterOutcome, ClusterStats, Ev, FaultStats, Kind, ReqState, RequestOutcome,
-    Server, REREP_BASE, REREP_BYTES,
+    Cluster, ClusterOutcome, ClusterStats, Ev, FabricState, FaultStats, Kind, ReqState,
+    RequestOutcome, Server, REREP_BASE, REREP_BYTES,
 };
 use crate::config::ClusterConfig;
 use crate::fault::FaultPlan;
@@ -234,6 +235,13 @@ struct Shard {
     tracing_busy: SimDuration,
     total_cpu_busy: SimDuration,
     jobs_lost: u64,
+    /// Rack-topology fabric for this shard's server group. Built over the
+    /// global host index space so rack boundaries match the single-engine
+    /// path; group-aligned placement keeps every host↔host flow inside
+    /// the shard, and client hops attach at the spine. Cross-shard
+    /// message delivery happens at window barriers, so flow start times
+    /// (and therefore all fair-share rates) are barrier-deterministic.
+    fabric: Option<FabricState>,
     control: Option<Control>,
 }
 
@@ -262,20 +270,22 @@ impl Shard {
                 if epoch != self.epochs[local] {
                     return;
                 }
-                if let Some((job, wire, is_rep, job_attempt)) =
-                    self.servers[local].net_in_pool.complete(now)
-                {
-                    let service = self.servers[local].link.transfer(wire);
-                    self.engine.schedule(
-                        service,
-                        Ev::NetInDone {
-                            id: job,
-                            server,
-                            replica: is_rep,
-                            attempt: job_attempt,
-                            epoch,
-                        },
-                    );
+                if self.fabric.is_none() {
+                    if let Some((job, wire, is_rep, job_attempt)) =
+                        self.servers[local].net_in_pool.complete(now)
+                    {
+                        let service = self.servers[local].link.transfer(wire);
+                        self.engine.schedule(
+                            service,
+                            Ev::NetInDone {
+                                id: job,
+                                server,
+                                replica: is_rep,
+                                attempt: job_attempt,
+                                epoch,
+                            },
+                        );
+                    }
                 }
                 if id >= REREP_BASE {
                     if let Some(job) = self.rerep_jobs.get(&id).copied() {
@@ -384,13 +394,24 @@ impl Shard {
                         direction: Direction::Egress,
                         request_id: id,
                     });
-                    self.servers[local].offer_net_out(
-                        &mut self.engine,
-                        now,
-                        server,
-                        self.epochs[local],
-                        (id, wire, attempt),
-                    );
+                    if let Some(fab) = self.fabric.as_mut() {
+                        fab.transfer(
+                            &mut self.engine,
+                            now,
+                            Endpoint::Host(server),
+                            Endpoint::Client,
+                            wire,
+                            Ev::NetOutDone { id, server, attempt, epoch: self.epochs[local] },
+                        );
+                    } else {
+                        self.servers[local].offer_net_out(
+                            &mut self.engine,
+                            now,
+                            server,
+                            self.epochs[local],
+                            (id, wire, attempt),
+                        );
+                    }
                 }
             }
             Ev::MemDone { id, server, attempt, epoch } => {
@@ -451,14 +472,16 @@ impl Shard {
                 if epoch != self.epochs[local] {
                     return;
                 }
-                if let Some((job, wire, job_attempt)) =
-                    self.servers[local].net_out_pool.complete(now)
-                {
-                    let service = self.servers[local].link.transfer(wire);
-                    self.engine.schedule(
-                        service,
-                        Ev::NetOutDone { id: job, server, attempt: job_attempt, epoch },
-                    );
+                if self.fabric.is_none() {
+                    if let Some((job, wire, job_attempt)) =
+                        self.servers[local].net_out_pool.complete(now)
+                    {
+                        let service = self.servers[local].link.transfer(wire);
+                        self.engine.schedule(
+                            service,
+                            Ev::NetOutDone { id: job, server, attempt: job_attempt, epoch },
+                        );
+                    }
                 }
                 match self.srv_states.get(&id) {
                     Some(st) if st.attempt == attempt => {}
@@ -498,6 +521,11 @@ impl Shard {
                         + s.net_in_pool.fail_all(now)
                         + s.net_out_pool.fail_all(now);
                     self.jobs_lost += lost as u64;
+                    if let Some(fab) = self.fabric.as_mut() {
+                        // Flows crossing the dead server's access links
+                        // are lost with it.
+                        self.jobs_lost += fab.fail_host(&mut self.engine, now, server);
+                    }
                     // Repair pipelines touching the dead server die with
                     // it; tell control in ascending-rid order so the
                     // outbox sequence is deterministic.
@@ -551,6 +579,10 @@ impl Shard {
                     ctl.fstats.recoveries += 1;
                 }
             }
+            Ev::FabricTick => {
+                let fab = self.fabric.as_mut().expect("fabric ticks only exist with a topology");
+                fab.on_tick(&mut self.engine, now);
+            }
         }
     }
 
@@ -585,13 +617,30 @@ impl Shard {
                 // Source read done: ship the chunk to its new home.
                 if let Some(job) = self.rerep_jobs.get(&id).copied() {
                     let tl = job.to - lo;
-                    self.servers[tl].offer_net_in(
-                        &mut self.engine,
-                        now,
-                        job.to,
-                        self.epochs[tl],
-                        (id, REREP_BYTES, true, 0),
-                    );
+                    if let Some(fab) = self.fabric.as_mut() {
+                        fab.transfer(
+                            &mut self.engine,
+                            now,
+                            Endpoint::Host(server),
+                            Endpoint::Host(job.to),
+                            REREP_BYTES,
+                            Ev::NetInDone {
+                                id,
+                                server: job.to,
+                                replica: true,
+                                attempt: 0,
+                                epoch: self.epochs[tl],
+                            },
+                        );
+                    } else {
+                        self.servers[tl].offer_net_in(
+                            &mut self.engine,
+                            now,
+                            job.to,
+                            self.epochs[tl],
+                            (id, REREP_BYTES, true, 0),
+                        );
+                    }
                 }
             } else if let Some(job) = self.rerep_jobs.remove(&id) {
                 // Replacement copy is durable: ask control to commit it.
@@ -695,13 +744,30 @@ impl Shard {
                 let size = st.size;
                 for rep in fanout {
                     let rl = rep - lo;
-                    self.servers[rl].offer_net_in(
-                        &mut self.engine,
-                        now,
-                        rep,
-                        self.epochs[rl],
-                        (id, size, true, attempt),
-                    );
+                    if let Some(fab) = self.fabric.as_mut() {
+                        fab.transfer(
+                            &mut self.engine,
+                            now,
+                            Endpoint::Host(server),
+                            Endpoint::Host(rep),
+                            size,
+                            Ev::NetInDone {
+                                id,
+                                server: rep,
+                                replica: true,
+                                attempt,
+                                epoch: self.epochs[rl],
+                            },
+                        );
+                    } else {
+                        self.servers[rl].offer_net_in(
+                            &mut self.engine,
+                            now,
+                            rep,
+                            self.epochs[rl],
+                            (id, size, true, attempt),
+                        );
+                    }
                 }
             }
         } else {
@@ -766,13 +832,30 @@ impl Shard {
                         replicas,
                     },
                 );
-                self.servers[local].offer_net_in(
-                    &mut self.engine,
-                    now,
-                    server,
-                    self.epochs[local],
-                    (id, wire, false, attempt),
-                );
+                if let Some(fab) = self.fabric.as_mut() {
+                    fab.transfer(
+                        &mut self.engine,
+                        now,
+                        Endpoint::Client,
+                        Endpoint::Host(server),
+                        wire,
+                        Ev::NetInDone {
+                            id,
+                            server,
+                            replica: false,
+                            attempt,
+                            epoch: self.epochs[local],
+                        },
+                    );
+                } else {
+                    self.servers[local].offer_net_in(
+                        &mut self.engine,
+                        now,
+                        server,
+                        self.epochs[local],
+                        (id, wire, false, attempt),
+                    );
+                }
             }
             ShardMsg::Cancel { id, attempt } => {
                 if self.srv_states.get(&id).is_some_and(|st| st.attempt == attempt) {
@@ -1342,6 +1425,7 @@ impl Cluster {
                 tracing_busy: SimDuration::ZERO,
                 total_cpu_busy: SimDuration::ZERO,
                 jobs_lost: 0,
+                fabric: FabricState::build(&cfg),
                 control,
             });
         }
@@ -1441,6 +1525,18 @@ impl Cluster {
             faults: fstats,
         };
         self.publish_metrics(&stats, &outcomes);
+        // One fabric per shard: counter adds and histogram records are
+        // commutative, so publishing in shard order is order-independent.
+        for shard in &shards_vec {
+            if let Some(fab) = &shard.fabric {
+                Cluster::publish_fabric_metrics(
+                    fab.fabric.flows_started(),
+                    fab.fabric.rerates(),
+                    fab.fabric.bottleneck_busy(),
+                    &fab.fabric.link_utilization(end),
+                );
+            }
+        }
         if kooza_obs::global::is_enabled() {
             kooza_obs::global::with_registry(|reg| {
                 reg.counter_add("sim.shard.shards", n_shards as u64);
@@ -1675,6 +1771,22 @@ mod tests {
         assert_eq!(ab, ba);
         assert_eq!(ab.crashes, 11);
         assert_eq!(ab.degraded_requests, 110);
+    }
+
+    #[test]
+    fn sharded_fabric_run_completes_and_is_deterministic() {
+        let mut config = sharded_config();
+        config.topology = crate::config::Topology::Rack { servers_per_rack: 3, oversub: 1.5 };
+        let a = Cluster::new(&config).unwrap().run_sharded(300, 51, 4);
+        assert_eq!(a.stats.completed, 300);
+        assert_eq!(a.trace.network.len(), 600);
+        let b = Cluster::new(&config).unwrap().run_sharded(300, 51, 4);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.requests, b.requests);
+        // One shard delegates to the single-engine fabric path.
+        let legacy = Cluster::new(&config).unwrap().run(300, 51);
+        let one = Cluster::new(&config).unwrap().run_sharded(300, 51, 1);
+        assert_eq!(legacy.trace, one.trace);
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod hardware;
 mod master;
 
 pub use cluster::{default_shards, Cluster, ClusterOutcome, ClusterStats, FaultStats, RequestOutcome, Trial};
-pub use config::{ClusterConfig, CpuParams, DiskParams, LinkParams, MemoryParams, WorkloadMix};
+pub use config::{ClusterConfig, CpuParams, DiskParams, LinkParams, MemoryParams, Topology, WorkloadMix};
 pub use fault::{FaultPlan, FaultSpec, FaultWindow};
 pub use hardware::{CpuModel, DiskModel, LinkModel, MemoryModel};
 pub use master::{ChunkHandle, Master};

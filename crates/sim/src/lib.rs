@@ -37,6 +37,7 @@
 
 mod collect;
 mod engine;
+pub mod fabric;
 pub mod rng;
 mod server;
 pub mod shard;
@@ -44,6 +45,7 @@ mod time;
 
 pub use collect::{Counter, Tally, TimeWeighted};
 pub use engine::{run, Engine, TimerHandle};
+pub use fabric::{Endpoint, Fabric};
 pub use server::ServerPool;
 pub use shard::{shard_ranges, Envelope, Outbox, ShardedEngine};
 pub use time::{SimDuration, SimTime};

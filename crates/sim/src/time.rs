@@ -118,9 +118,18 @@ impl SimDuration {
     ///
     /// # Panics
     ///
-    /// Panics if `secs` is negative or NaN.
+    /// Panics if `secs` is negative or NaN. In debug builds it also
+    /// panics on `+inf`: a non-finite duration is always an upstream
+    /// model bug (a division by zero bandwidth, say), and surfacing it
+    /// at the conversion beats a simulation quietly pinned at
+    /// [`SimDuration::MAX`]. Release builds keep the saturating clamp so
+    /// overflow-by-magnitude (e.g. `1e30` seconds) stays well-defined.
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs >= 0.0, "duration seconds must be non-negative, got {secs}");
+        debug_assert!(
+            secs.is_finite(),
+            "duration seconds must be finite, got {secs} — check the model feeding this conversion"
+        );
         let nanos = secs * 1e9;
         if nanos >= u64::MAX as f64 {
             SimDuration(u64::MAX)
@@ -302,6 +311,21 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn from_secs_f64_rejects_negative() {
         let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_secs_f64_rejects_nan() {
+        // NaN fails the `>= 0.0` comparison, so it trips the same assert
+        // as a negative input — in release builds too.
+        let _ = SimDuration::from_secs_f64(f64::NAN);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn from_secs_f64_rejects_infinity_in_debug() {
+        let _ = SimDuration::from_secs_f64(f64::INFINITY);
     }
 
     #[test]

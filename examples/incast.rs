@@ -1,145 +1,146 @@
 //! TCP/IP incast: many servers answering one request collapse the
-//! client's ingress link — modeled on the *sharded* engine.
+//! client's ingress link — modeled on the shared-bandwidth fabric.
 //!
 //! §4: "since information on job/task ids is recorded the model can
 //! replicate effects like the TCP/IP incast problem, or other events
-//! involving multiple machines servicing the same request." Here a striped
-//! read fans out to N chunkservers; all stripes converge on the client's
-//! single ingress link. With per-message latency overhead, wider fan-out
-//! *degrades* completion time once the link saturates — the incast
-//! signature.
+//! involving multiple machines servicing the same request." Here a
+//! striped read fans out to N chunkservers; all stripes converge on the
+//! client, modeled as a dedicated host on its own rack of the
+//! [`kooza_sim::Fabric`] so its access link is the shared receiver
+//! bottleneck. Max-min fair sharing, per-stripe framing overhead and a
+//! fixed retransmit timeout reproduce the three incast regimes:
 //!
-//! The model is split across two shards, the minimal sharded simulation:
-//! shard 1 owns the chunkservers (parallel disk reads), shard 0 owns the
-//! client NIC. Each stripe response is a cross-shard message buffered in
-//! shard 1's [`kooza_sim::Outbox`] and delivered at the next window barrier in
-//! canonical order — the same [`ShardedEngine`] machinery `kooza-gfs`
-//! uses for whole-cluster runs, at example scale.
+//! * widening the stripe first *helps* — parallel disks hide
+//!   positioning time;
+//! * then per-stripe overhead accumulates on the one receiver link and
+//!   completion time creeps back up;
+//! * and once the fair share per stripe is too thin to beat the
+//!   timeout, retransmissions pile onto the saturated link and
+//!   completion time collapses super-linearly — the incast cliff.
 //!
 //! Run with: `cargo run --example incast`
 
-use kooza_sim::{Engine, ServerPool, ShardedEngine, SimDuration, SimTime};
+use kooza_sim::{Endpoint, Fabric, SimDuration, SimTime};
 
-/// Events local to one shard's engine. The disk shard only ever sees
-/// `StripeReady`; the client shard sees `StripeArrived` (a delivered
-/// cross-shard message) and its own `LinkDone` completions.
-#[derive(Debug)]
-enum Ev {
-    StripeReady,
-    StripeArrived(u64),
-    LinkDone,
+const LINK_BW: f64 = 125e6; // 1 GbE, bytes/sec
+const LATENCY: SimDuration = SimDuration::from_micros(100);
+/// Protocol framing per stripe response (headers, checksums, padding).
+const OVERHEAD: u64 = 32 * 1024;
+/// A stripe not delivered this long after its disk read is retransmitted.
+const TIMEOUT: SimDuration = SimDuration::from_micros(60_000);
+
+/// One sender's state while its stripe is in flight.
+#[derive(Clone, Copy)]
+enum Sender {
+    /// Disk positioning / waiting out a retransmit backoff until the
+    /// given instant.
+    Waiting(SimTime),
+    /// Stripe on the wire as fabric flow `id`; times out at the instant.
+    Active(u64, SimTime),
+    Done,
 }
 
 /// One striped-read completion time: `fanout` servers each return
-/// `total_bytes / fanout`, all converging on the client's single link.
+/// `total_bytes / fanout` (plus framing) to the client, racing a fixed
+/// retransmit timeout. Returns `(completion, retransmissions)`.
 fn striped_read_completion(
     total_bytes: u64,
-    fanout: u64,
-    link_bytes_per_sec: f64,
-    per_message_latency: SimDuration,
+    fanout: usize,
     disk_secs_per_stripe: f64,
-) -> SimDuration {
-    const CLIENT: usize = 0;
-    const SERVERS: usize = 1;
-    let stripe = total_bytes / fanout.max(1);
-    let transfer = |bytes: u64| {
-        per_message_latency + SimDuration::from_secs_f64(bytes as f64 / link_bytes_per_sec)
-    };
+) -> (SimDuration, u64) {
+    let stripe = total_bytes / fanout.max(1) as u64 + OVERHEAD;
+    // Servers are hosts 1..=fanout in racks of 4; the client is a
+    // dedicated host padded out to its own rack, so every stripe crosses
+    // the client's access link — the shared receiver bottleneck.
+    let client_idx = (fanout + 1).div_ceil(4) * 4;
+    let mut fabric = Fabric::new(client_idx + 1, 4, 2.0, LINK_BW, LATENCY);
+    let client = Endpoint::Host(client_idx);
 
-    // Two shards in lockstep 100 µs windows: stripes cross between them
-    // at barrier instants, so the disk shard can run arbitrarily far into
-    // a window without ever seeing the client shard mid-state.
-    let mut barrier: ShardedEngine<u64> = ShardedEngine::new(2, SimDuration::from_micros(100));
-    let mut outboxes = barrier.outboxes();
-    let mut engines: Vec<Engine<Ev>> = vec![Engine::new(), Engine::new()];
+    // Each stripe becomes ready after its server's size-dependent disk
+    // time (parallel across servers — this is what wide striping buys).
+    let mut senders: Vec<Sender> = (0..fanout)
+        .map(|_| {
+            let disk = disk_secs_per_stripe + stripe as f64 / 100e6;
+            Sender::Waiting(SimTime::ZERO + SimDuration::from_secs_f64(disk))
+        })
+        .collect();
 
-    // The client NIC: one channel, FIFO.
-    let mut link: ServerPool<u64> = ServerPool::new(1);
-    // Disk reads are parallel across servers; each stripe becomes ready
-    // after its server's (size-dependent) disk time.
-    for _ in 0..fanout {
-        let disk = SimDuration::from_secs_f64(
-            disk_secs_per_stripe + stripe as f64 / 100e6, // seek + transfer
-        );
-        engines[SERVERS].schedule(disk, Ev::StripeReady);
-    }
-
+    let mut retransmissions = 0u64;
     let mut remaining = fanout;
-    let mut done_at = SimTime::ZERO;
-    loop {
-        let until = barrier.window_end();
-        // Step each shard through its window. (kooza-gfs drives this same
-        // loop with `kooza_exec::par_for_each_mut`; two tiny shards keep
-        // the example serial and dependency-free.)
-        for (shard, engine) in engines.iter_mut().enumerate() {
-            while engine.peek_time().is_some_and(|t| t < until) {
-                let (now, ev) = engine.next().expect("peeked");
-                match ev {
-                    Ev::StripeReady => outboxes[SERVERS].send(CLIENT, now, stripe),
-                    Ev::StripeArrived(bytes) => {
-                        if link.arrive(now, bytes).is_some() {
-                            engine.schedule(transfer(bytes), Ev::LinkDone);
-                        }
-                    }
-                    Ev::LinkDone => {
+    let mut now = SimTime::ZERO;
+    while remaining > 0 {
+        let mut next = fabric.next_change().unwrap_or(SimTime::MAX);
+        for s in &senders {
+            match *s {
+                Sender::Waiting(at) => next = next.min(at),
+                Sender::Active(_, deadline) => next = next.min(deadline),
+                Sender::Done => {}
+            }
+        }
+        now = next;
+        let completed = fabric.advance(now);
+        for (i, sender) in senders.iter_mut().enumerate() {
+            match *sender {
+                Sender::Active(id, deadline) => {
+                    if completed.contains(&id) {
+                        *sender = Sender::Done;
                         remaining -= 1;
-                        done_at = now;
-                        if let Some(bytes) = link.complete(now) {
-                            engine.schedule(transfer(bytes), Ev::LinkDone);
-                        }
+                    } else if deadline <= now {
+                        // Timed out mid-transfer: drop the half-sent
+                        // stripe and resend from scratch after a backoff
+                        // staggered per server so the storm can drain.
+                        fabric.cancel_flow(id);
+                        retransmissions += 1;
+                        let backoff =
+                            TIMEOUT + SimDuration::from_micros(200 * (i as u64 + 1));
+                        *sender = Sender::Waiting(now + backoff);
                     }
                 }
-                debug_assert!(shard == CLIENT || matches!(ev, Ev::StripeReady));
+                Sender::Waiting(at) if at <= now => {
+                    let id = fabric.start_flow(Endpoint::Host(i + 1), client, stripe);
+                    *sender = Sender::Active(id, now + TIMEOUT);
+                }
+                _ => {}
             }
-        }
-        let inboxes = barrier.exchange(outboxes.iter_mut());
-        let delivered: usize = inboxes.iter().map(Vec::len).sum();
-        for (shard, inbox) in inboxes.into_iter().enumerate() {
-            for env in inbox {
-                engines[shard].schedule_at(until, Ev::StripeArrived(env.msg));
-            }
-        }
-        if delivered == 0 && engines.iter_mut().all(|e| e.peek_time().is_none()) {
-            break;
         }
     }
-    assert_eq!(remaining, 0);
-    done_at - SimTime::ZERO
+    (now - SimTime::ZERO, retransmissions)
 }
 
 fn main() {
     let total = 4 * 1024 * 1024u64; // a 4 MB striped read
-    let link_bw = 125e6; // 1 GbE
-    let per_msg = SimDuration::from_micros(200); // per-response overhead
     let disk = 0.004; // 4 ms positioning per stripe
 
-    println!("4 MB striped read over a 1 GbE client link (2-shard simulation):");
+    println!("4 MB striped read into one 1 GbE client (rack:4:2 fabric):");
     println!(
-        "{:>8} {:>14} {:>16} {:>18}",
-        "fan-out", "stripe (KB)", "completion (ms)", "goodput (MB/s)"
+        "{:>8} {:>14} {:>16} {:>10} {:>18}",
+        "fan-out", "stripe (KB)", "completion (ms)", "resends", "goodput (MB/s)"
     );
     let mut best = f64::INFINITY;
     let mut best_fanout = 1;
-    for fanout in [1u64, 2, 4, 8, 16, 32, 64, 128] {
-        let t = striped_read_completion(total, fanout, link_bw, per_msg, disk);
+    for fanout in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let (t, resends) = striped_read_completion(total, fanout, disk);
         let ms = t.as_millis_f64();
         if ms < best {
             best = ms;
             best_fanout = fanout;
         }
         println!(
-            "{:>8} {:>14.1} {:>16.2} {:>18.1}",
+            "{:>8} {:>14.1} {:>16.2} {:>10} {:>18.1}",
             fanout,
             total as f64 / fanout as f64 / 1024.0,
             ms,
+            resends,
             total as f64 / (ms / 1e3) / 1e6
         );
     }
     println!(
         "\nSweet spot at fan-out {best_fanout}: wider striping first hides disk\n\
-         positioning, then the single client link serializes the responses\n\
-         and per-message overhead accumulates — completion time *rises*\n\
-         with more servers. That non-monotonicity is the incast effect the\n\
-         paper says request-id-aware models can replicate."
+         positioning, then per-stripe framing accumulates on the client's\n\
+         shared access link, and finally the fair share per stripe drops\n\
+         below what the retransmit timeout allows — resends pile onto the\n\
+         saturated link and completion time falls off a cliff. That\n\
+         collapse is the incast effect the paper says request-id-aware\n\
+         models can replicate."
     );
 }

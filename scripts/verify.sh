@@ -42,6 +42,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== benchmarks compile and smoke-run =="
 cargo bench --offline -p kooza-bench --bench micro -- --mode smoke >/dev/null
 cargo bench --offline -p kooza-bench --bench shard -- --mode smoke >/dev/null
+# The fabric bench also asserts the incast curve degrades super-linearly
+# past the timeout cliff — a semantic check, not just a compile check.
+cargo bench --offline -p kooza-bench --bench fabric -- --mode smoke >/dev/null
 
 echo "== KTC trace format: property, corruption and golden-fixture suites =="
 # The binary columnar format is gated on the JSONL oracle: round-trip
@@ -76,5 +79,13 @@ echo "== shard determinism: sharded tables/logs/obs identical at KOOZA_THREADS=8
 # internally; the env var exercises the sizing path on top. Shards=1 also
 # pins the sharded entry point bit-identical to the single-engine path.
 KOOZA_THREADS=8 cargo test -q --offline --test shard_determinism
+
+echo "== fabric determinism: rack topology identical at KOOZA_THREADS=8, legacy path pinned to golden =="
+# Rack mode sweeps 1/2/8 threads x 1/4 shards internally; --topology none
+# is compared byte-for-byte against fixtures generated before the fabric
+# landed (tests/fixtures/pre_fabric_*.golden), plus the fabric property
+# suite (capacity bounds, permutation invariance, legacy-link agreement).
+KOOZA_THREADS=8 cargo test -q --offline --test fabric_determinism
+cargo test -q --offline --test fabric_properties
 
 echo "verify: OK"

@@ -1,0 +1,230 @@
+//! Property suite for the shared-bandwidth fabric (`kooza_sim::Fabric`).
+//!
+//! Three invariants anchor the model against the legacy fixed-service
+//! link and against the max-min fairness definition:
+//!
+//! 1. per-link aggregate rates never exceed capacity,
+//! 2. rates are invariant under flow insertion order, and
+//! 3. an uncontended flow completes exactly when `LinkModel::transfer`
+//!    says it should (the degenerate single-link topology).
+//!
+//! Runs on the in-repo `kooza-check` harness: deterministic seeded case
+//! streams, configurable via `KOOZA_CHECK_CASES` / `KOOZA_CHECK_SEED`.
+
+use kooza_check::gen::{f64_range, u64_range, usize_range, vec_of, zip2, zip3, zip4};
+use kooza_check::{checker, ensure};
+use kooza_gfs::{LinkModel, LinkParams};
+use kooza_sim::rng::Rng64;
+use kooza_sim::{Endpoint, Fabric, SimDuration, SimTime};
+
+const BW: f64 = 125e6;
+const LAT: SimDuration = SimDuration::from_micros(100);
+
+/// Mirror of the fabric's documented link layout (host up, host down,
+/// rack up, rack down) and routing, used to audit rates from outside.
+fn path(hosts: usize, spr: usize, from: Endpoint, to: Endpoint) -> Vec<usize> {
+    let racks = hosts.div_ceil(spr);
+    let host_up = |h: usize| h;
+    let host_down = |h: usize| hosts + h;
+    let rack_up = |r: usize| 2 * hosts + r;
+    let rack_down = |r: usize| 2 * hosts + racks + r;
+    match (from, to) {
+        (Endpoint::Client, Endpoint::Client) => vec![],
+        (Endpoint::Client, Endpoint::Host(b)) => vec![rack_down(b / spr), host_down(b)],
+        (Endpoint::Host(a), Endpoint::Client) => vec![host_up(a), rack_up(a / spr)],
+        (Endpoint::Host(a), Endpoint::Host(b)) if a == b => vec![],
+        (Endpoint::Host(a), Endpoint::Host(b)) if a / spr == b / spr => {
+            vec![host_up(a), host_down(b)]
+        }
+        (Endpoint::Host(a), Endpoint::Host(b)) => {
+            vec![host_up(a), rack_up(a / spr), rack_down(b / spr), host_down(b)]
+        }
+    }
+}
+
+/// Capacity of link `l` under the same layout.
+fn capacity(hosts: usize, spr: usize, oversub: f64, l: usize) -> f64 {
+    if l < 2 * hosts {
+        BW
+    } else {
+        spr as f64 * BW / oversub
+    }
+}
+
+/// Decodes a deterministic multiset of flow endpoints from raw seeds.
+fn decode_flows(hosts: usize, picks: &[(u64, u64)]) -> Vec<(Endpoint, Endpoint)> {
+    picks
+        .iter()
+        .map(|&(a, b)| {
+            // 0 encodes the client, 1..=hosts encodes a host index.
+            let ep = |v: u64| match v as usize % (hosts + 1) {
+                0 => Endpoint::Client,
+                h => Endpoint::Host(h - 1),
+            };
+            (ep(a), ep(b))
+        })
+        .collect()
+}
+
+/// Aggregate max-min rates never exceed any link's capacity, and every
+/// ungated flow with a non-empty path is assigned a positive share.
+#[test]
+fn rates_respect_link_capacities() {
+    checker("rates_respect_link_capacities").run(
+        zip4(
+            usize_range(1, 24),                         // hosts
+            usize_range(1, 6),                          // servers per rack
+            f64_range(1.0, 3.0),                        // oversubscription cap
+            vec_of(zip2(u64_range(0, 1 << 30), u64_range(0, 1 << 30)), 1, 24),
+        ),
+        |&(hosts, spr, oversub_raw, ref picks)| {
+            let oversub = oversub_raw.min(spr as f64);
+            let mut fabric = Fabric::new(hosts, spr, oversub, BW, LAT);
+            let flows = decode_flows(hosts, picks);
+            let ids: Vec<u64> = flows
+                .iter()
+                .map(|&(from, to)| fabric.start_flow(from, to, 1 << 22))
+                .collect();
+            // Step just past the common gate so every flow is rated.
+            fabric.advance(SimTime::ZERO + LAT + SimDuration::from_nanos(1));
+            let mut load = vec![0.0f64; fabric.link_count()];
+            for (&id, &(from, to)) in ids.iter().zip(&flows) {
+                let links = path(hosts, spr, from, to);
+                let Some(rate) = fabric.rate_of(id) else {
+                    // Empty-path flows complete at the gate; nothing else may.
+                    ensure!(links.is_empty(), "flow {id} with links vanished early");
+                    continue;
+                };
+                ensure!(rate > 0.0, "active flow {id} left unrated");
+                ensure!(
+                    rate <= BW * (1.0 + 1e-9),
+                    "flow {id} rated {rate} above its host link"
+                );
+                for l in links {
+                    load[l] += rate;
+                }
+            }
+            for (l, &agg) in load.iter().enumerate() {
+                let cap = capacity(hosts, spr, oversub, l);
+                ensure!(
+                    agg <= cap * (1.0 + 1e-9),
+                    "link {l} loaded {agg} above capacity {cap}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The same flow multiset produces bit-identical per-flow rates whatever
+/// order the flows were started in.
+#[test]
+fn rates_are_permutation_invariant() {
+    checker("rates_are_permutation_invariant").run(
+        zip3(
+            u64_range(0, u64::MAX / 2), // shuffle seed
+            usize_range(2, 16),         // hosts
+            vec_of(zip2(u64_range(0, 1 << 30), u64_range(0, 1 << 30)), 2, 16),
+        ),
+        |&(seed, hosts, ref picks)| {
+            let flows = decode_flows(hosts, picks);
+            let rates = |order: &[usize]| -> Vec<u64> {
+                let mut fabric = Fabric::new(hosts, 4.min(hosts), 2.0f64.min(4.min(hosts) as f64), BW, LAT);
+                let mut ids = vec![0u64; flows.len()];
+                for &i in order {
+                    ids[i] = fabric.start_flow(flows[i].0, flows[i].1, 1 << 22);
+                }
+                fabric.advance(SimTime::ZERO + LAT + SimDuration::from_nanos(1));
+                // Compare exact bit patterns, not approximate values.
+                ids.iter()
+                    .map(|&id| fabric.rate_of(id).unwrap_or(-1.0).to_bits())
+                    .collect()
+            };
+            let forward: Vec<usize> = (0..flows.len()).collect();
+            let mut shuffled = forward.clone();
+            // Fisher-Yates off the deterministic case seed.
+            let mut rng = Rng64::new(seed);
+            for i in (1..shuffled.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            ensure!(
+                rates(&forward) == rates(&shuffled),
+                "rates depend on insertion order (seed {seed})"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// A lone flow sees no sharing: its completion time equals the legacy
+/// `LinkModel::transfer` fixed-service time for the same parameters.
+#[test]
+fn lone_flow_matches_legacy_link_model() {
+    checker("lone_flow_matches_legacy_link_model").run(
+        zip4(
+            u64_range(1, 1 << 28),   // bytes
+            f64_range(1e6, 4e9),     // bandwidth
+            f64_range(1e-6, 5e-3),   // latency secs
+            usize_range(1, 12),      // hosts
+        ),
+        |&(bytes, bandwidth, latency_secs, hosts)| {
+            let latency = SimDuration::from_secs_f64(latency_secs);
+            let mut fabric = Fabric::new(hosts, hosts, 1.0, bandwidth, latency);
+            let id = fabric.start_flow(Endpoint::Client, Endpoint::Host(hosts - 1), bytes);
+            let mut done = SimTime::ZERO;
+            for _ in 0..64 {
+                let t = fabric.next_change().expect("flow pending");
+                if fabric.advance(t).contains(&id) {
+                    done = t;
+                    break;
+                }
+            }
+            ensure!(done > SimTime::ZERO, "flow never completed");
+            let legacy = LinkModel::new(LinkParams {
+                bandwidth_bytes_per_sec: bandwidth,
+                latency_secs,
+            })
+            .transfer(bytes);
+            // `transfer` covers latency + serialization in one number;
+            // the fabric gates for latency then drains at full rate, so
+            // the two agree to within integration rounding.
+            let target = SimTime::ZERO + legacy;
+            let diff = done.as_nanos().abs_diff(target.as_nanos());
+            ensure!(diff <= 8, "fabric {done} vs legacy {target} ({diff} ns apart)");
+            Ok(())
+        },
+    );
+}
+
+/// Every started flow eventually completes exactly once when the fabric
+/// is driven to quiescence — no lost or duplicated completions.
+#[test]
+fn all_flows_complete_exactly_once() {
+    checker("all_flows_complete_exactly_once").run(
+        zip2(
+            usize_range(1, 16), // hosts
+            vec_of(zip2(u64_range(0, 1 << 30), u64_range(0, 1 << 30)), 1, 20),
+        ),
+        |&(hosts, ref picks)| {
+            let spr = 4.min(hosts);
+            let mut fabric = Fabric::new(hosts, spr, 1.5f64.min(spr as f64), BW, LAT);
+            let flows = decode_flows(hosts, picks);
+            let mut pending: Vec<u64> = flows
+                .iter()
+                .map(|&(from, to)| fabric.start_flow(from, to, 1 << 20))
+                .collect();
+            for _ in 0..10_000 {
+                let Some(t) = fabric.next_change() else { break };
+                for id in fabric.advance(t) {
+                    let pos = pending.iter().position(|&p| p == id);
+                    ensure!(pos.is_some(), "flow {id} completed twice or was never started");
+                    pending.swap_remove(pos.unwrap());
+                }
+            }
+            ensure!(pending.is_empty(), "{} flows never completed", pending.len());
+            ensure!(fabric.in_flight() == 0, "fabric still holds flows at quiescence");
+            Ok(())
+        },
+    );
+}
