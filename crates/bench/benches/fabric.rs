@@ -14,77 +14,9 @@
 use std::hint::black_box;
 
 use kooza_bench::harness::Harness;
+use kooza_bench::incast::{incast, STRIPE, TIMEOUT};
 use kooza_gfs::{Cluster, ClusterConfig, Topology, WorkloadMix};
 use kooza_json::Json;
-use kooza_sim::{Endpoint, Fabric, SimDuration, SimTime};
-
-const BW: f64 = 125e6; // 1 GbE receiver link, bytes/sec
-const LAT: SimDuration = SimDuration::from_micros(100);
-const STRIPE: u64 = 256 * 1024;
-/// Senders give a stripe this long to finish before restarting it.
-const TIMEOUT: SimDuration = SimDuration::from_micros(25_000);
-
-/// One sender's state in the incast driver.
-#[derive(Clone, Copy)]
-enum Sender {
-    /// Waiting to (re)transmit at the given instant.
-    Waiting(SimTime),
-    /// Transmitting flow `id`, which times out at the given instant.
-    Active(u64, SimTime),
-    Done,
-}
-
-/// Simulated completion time of `fanout` servers each pushing one
-/// `STRIPE`-byte response at host 0 across a rack:4 oversub:2 fabric,
-/// restarting any stripe that misses `TIMEOUT` after a linear backoff
-/// (staggered per sender so the retry storm eventually drains).
-/// Returns `(completion, restarts)`.
-fn incast(fanout: usize) -> (SimDuration, u64) {
-    let mut fabric = Fabric::new(fanout + 1, 4, 2.0, BW, LAT);
-    let mut senders = vec![Sender::Waiting(SimTime::ZERO); fanout];
-    let mut restarts = 0u64;
-    let mut now = SimTime::ZERO;
-    let mut remaining = fanout;
-    while remaining > 0 {
-        // Next instant anything happens: a fabric rate change, a sender
-        // (re)start, or a timeout deadline.
-        let mut next = fabric.next_change().unwrap_or(SimTime::MAX).min(SimTime::MAX);
-        for s in &senders {
-            match *s {
-                Sender::Waiting(at) => next = next.min(at),
-                Sender::Active(_, deadline) => next = next.min(deadline),
-                Sender::Done => {}
-            }
-        }
-        assert!(next > now || now == SimTime::ZERO, "incast driver stalled at {now}");
-        now = next;
-        let completed = fabric.advance(now);
-        for (i, sender) in senders.iter_mut().enumerate() {
-            match *sender {
-                Sender::Active(id, deadline) => {
-                    if completed.contains(&id) {
-                        *sender = Sender::Done;
-                        remaining -= 1;
-                    } else if deadline <= now {
-                        // Missed the timeout: drop the half-sent stripe
-                        // and retransmit from scratch after a backoff
-                        // staggered by sender index.
-                        fabric.cancel_flow(id);
-                        restarts += 1;
-                        let backoff = TIMEOUT + SimDuration::from_micros(200 * (i as u64 + 1));
-                        *sender = Sender::Waiting(now + backoff);
-                    }
-                }
-                Sender::Waiting(at) if at <= now => {
-                    let id = fabric.start_flow(Endpoint::Host(i + 1), Endpoint::Host(0), STRIPE);
-                    *sender = Sender::Active(id, now + TIMEOUT);
-                }
-                _ => {}
-            }
-        }
-    }
-    (now - SimTime::ZERO, restarts)
-}
 
 /// The cluster the wall-clock benches run: same shape as the shard
 /// bench, with the topology switched between ideal links and the fabric.

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod incast;
 
 use kooza_gfs::{Cluster, ClusterConfig, ClusterOutcome, WorkloadMix};
 

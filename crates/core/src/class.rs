@@ -213,7 +213,7 @@ fn observation_from_spans(id: u64, spans: &[&Span]) -> Option<RequestObservation
         memory: Vec::new(),
         storage: Vec::new(),
         latency_nanos: root.duration_nanos(),
-        phase_sequence: leaves.iter().map(|s| s.name.clone()).collect(),
+        phase_sequence: leaves.iter().map(|s| s.name.to_string()).collect(),
         phase_durations_nanos: leaves.iter().map(|s| s.duration_nanos()).collect(),
     })
 }
@@ -331,7 +331,7 @@ mod tests {
                     memory: Vec::new(),
                     storage: Vec::new(),
                     latency_nanos: tree.total_latency_nanos(),
-                    phase_sequence: leaves.iter().map(|s| s.name.clone()).collect(),
+                    phase_sequence: leaves.iter().map(|s| s.name.to_string()).collect(),
                     phase_durations_nanos: leaves.iter().map(|s| s.duration_nanos()).collect(),
                 }
             })

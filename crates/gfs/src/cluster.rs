@@ -17,7 +17,7 @@ use kooza_sim::rng::Rng64;
 use kooza_sim::{Endpoint, Engine, Fabric, ServerPool, SimDuration, SimTime, Tally, TimerHandle};
 use kooza_stats::dist::{DiscreteDistribution, Distribution, Exponential, Zipf};
 use kooza_trace::record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
-use kooza_trace::span::{Span, SpanCollector, SpanId, TraceId};
+use kooza_trace::span::{Span, SpanCollector, SpanId, SpanName, TraceId};
 use kooza_trace::view::{ShardedTrace, TraceView};
 use kooza_trace::TraceSet;
 
@@ -434,6 +434,28 @@ enum Ev {
     Msg(Box<sharded::ShardMsg>),
 }
 
+/// Interned span names for the tracing hot path.
+///
+/// Every traced request creates a handful of spans whose names come from
+/// a fixed vocabulary of `&'static str` phase literals ("request",
+/// "network.in", ...). Interning through this cache makes each span name
+/// a refcount bump on a shared [`SpanName`] instead of a fresh string
+/// allocation; the vocabulary is tiny, so a linear scan beats hashing.
+#[derive(Debug, Default)]
+pub(crate) struct NameCache(Vec<(&'static str, SpanName)>);
+
+impl NameCache {
+    /// The shared interned form of `name`.
+    pub(crate) fn get(&mut self, name: &'static str) -> SpanName {
+        if let Some((_, interned)) = self.0.iter().find(|(n, _)| *n == name) {
+            return interned.clone();
+        }
+        let interned = SpanName::from(name);
+        self.0.push((name, interned.clone()));
+        interned
+    }
+}
+
 /// Shared-fabric state for one engine: the fluid-flow fabric itself, the
 /// completion event owed to each in-flight flow, and the single live
 /// wake-up timer armed at the fabric's next internal boundary.
@@ -447,6 +469,9 @@ struct FabricState {
     fabric: Fabric,
     done: HashMap<u64, Ev>,
     tick: Option<TimerHandle>,
+    /// Reused completion buffer for [`Fabric::advance_into`] — `sync`
+    /// runs on every flow event, so it must not allocate per tick.
+    completed: Vec<u64>,
 }
 
 impl FabricState {
@@ -465,6 +490,7 @@ impl FabricState {
                 ),
                 done: HashMap::new(),
                 tick: None,
+                completed: Vec::new(),
             }),
         }
     }
@@ -472,7 +498,8 @@ impl FabricState {
     /// Advances the fluid model to `now`, firing the completion event of
     /// every flow that drained.
     fn sync(&mut self, engine: &mut Engine<Ev>, now: SimTime) {
-        for id in self.fabric.advance(now) {
+        self.fabric.advance_into(now, &mut self.completed);
+        for &id in &self.completed {
             if let Some(ev) = self.done.remove(&id) {
                 engine.schedule(SimDuration::ZERO, ev);
             }
@@ -619,6 +646,7 @@ impl Cluster {
         let gap = Exponential::with_mean(cfg.workload.mean_interarrival_secs)
             .expect("validated config");
         let mut collector = SpanCollector::with_sampling(cfg.trace_sampling);
+        let mut names = NameCache::default();
         let trace_overhead = SimDuration::from_secs_f64(cfg.tracing_overhead_secs);
 
         let mut states: HashMap<u64, ReqState> = HashMap::new();
@@ -1274,7 +1302,7 @@ impl Cluster {
                             tid,
                             SpanId(0),
                             None,
-                            "request",
+                            names.get("request"),
                             st.start.as_nanos(),
                             now.as_nanos(),
                         );
@@ -1284,7 +1312,7 @@ impl Cluster {
                                 tid,
                                 SpanId(span_idx),
                                 Some(SpanId(0)),
-                                *name,
+                                names.get(name),
                                 s.as_nanos(),
                                 e.as_nanos(),
                             );

@@ -62,8 +62,8 @@ use kooza_trace::view::ShardedTrace;
 use kooza_trace::TraceSet;
 
 use super::{
-    Cluster, ClusterOutcome, ClusterStats, Ev, FabricState, FaultStats, Kind, ReqState,
-    RequestOutcome, Server, REREP_BASE, REREP_BYTES,
+    Cluster, ClusterOutcome, ClusterStats, Ev, FabricState, FaultStats, Kind, NameCache,
+    ReqState, RequestOutcome, Server, REREP_BASE, REREP_BYTES,
 };
 use crate::config::ClusterConfig;
 use crate::fault::FaultPlan;
@@ -201,6 +201,8 @@ struct Control {
     metadata_hits: u64,
     master_service: SimDuration,
     collector: SpanCollector,
+    /// Interned span-name vocabulary shared across all traced requests.
+    names: NameCache,
     server_of: Vec<usize>,
     outcomes: Vec<RequestOutcome>,
     latency: Tally,
@@ -916,7 +918,7 @@ impl Shard {
                         tid,
                         SpanId(0),
                         None,
-                        "request",
+                        ctl.names.get("request"),
                         st.start.as_nanos(),
                         done_at.as_nanos(),
                     ));
@@ -925,7 +927,7 @@ impl Shard {
                             tid,
                             SpanId(span_idx),
                             Some(SpanId(0)),
-                            *name,
+                            ctl.names.get(name),
                             s.as_nanos(),
                             e.as_nanos(),
                         ));
@@ -1397,6 +1399,7 @@ impl Cluster {
                         2.0 * cfg.link.latency_secs + cfg.master_lookup_secs,
                     ),
                     collector: SpanCollector::with_sampling(cfg.trace_sampling),
+                    names: NameCache::default(),
                     server_of: vec![0; n_requests as usize],
                     outcomes: Vec::with_capacity(n_requests as usize),
                     latency: Tally::new(),

@@ -1,7 +1,15 @@
 //! The discrete-event engine: a monotone clock plus a stable priority queue.
-
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+//!
+//! The queue is an *indexed* 4-ary min-heap: every cancellable event
+//! carries a slot in a side slab that tracks its current heap position,
+//! so [`Engine::cancel`] removes the entry from the heap immediately
+//! (O(log n)) instead of leaving a tombstone to be skipped at pop time.
+//! Timer-heavy workloads (per-request timeouts, retry/backoff storms,
+//! fabric wake-ups that are re-armed on every flow event) therefore keep
+//! the heap at its true live size — no cancelled-id set to grow, no
+//! reaping debt at drain time. Pop order is the same `(at, seq)` total
+//! order as before: keys are unique, so any correct heap yields the
+//! identical deterministic schedule.
 
 use crate::time::{SimDuration, SimTime};
 
@@ -10,36 +18,51 @@ use crate::time::{SimDuration, SimTime};
 /// Pass it back to [`Engine::cancel`] to withdraw the event before it
 /// fires. Handles are cheap value types tied to one engine; a handle from
 /// another engine has undefined (but memory-safe) cancel semantics.
+///
+/// Internally the handle packs a slab slot with a per-slot generation, so
+/// a stale handle whose slot has been reused by a later timer can never
+/// cancel the newcomer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerHandle(u64);
 
+impl TimerHandle {
+    fn new(slot: u32, generation: u32) -> Self {
+        TimerHandle((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 /// A scheduled event; ordered by time, then by insertion sequence so that
-/// simultaneous events fire in FIFO order (determinism).
+/// simultaneous events fire in FIFO order (determinism). `slot` indexes
+/// the cancellation slab, or [`NO_SLOT`] for plain events.
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
     event: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+/// Slab slot marker for events scheduled without a handle.
+const NO_SLOT: u32 = u32::MAX;
+/// Position marker for a slab slot whose event is no longer in the heap.
+const FREE: u32 = u32::MAX;
+/// Heap arity. Four children per node halves the sift-down depth against
+/// a binary heap and keeps each child scan inside one cache line.
+const ARITY: usize = 4;
+
+/// One cancellation-slab entry: where its event currently sits in the
+/// heap (or [`FREE`]), plus the generation guarding against handle reuse.
+#[derive(Clone, Copy)]
+struct Slot {
+    generation: u32,
+    pos: u32,
 }
 
 /// A deterministic discrete-event engine over user-defined event values.
@@ -59,15 +82,14 @@ impl<E> Ord for Scheduled<E> {
 pub struct Engine<E> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Indexed 4-ary min-heap ordered by `(at, seq)`.
+    heap: Vec<Scheduled<E>>,
+    /// Cancellation slab: slot → current heap position + generation.
+    slots: Vec<Slot>,
+    /// Slots available for reuse, LIFO.
+    free_slots: Vec<u32>,
     processed: u64,
     pending_high_water: usize,
-    /// Sequence numbers of live cancellable events (inserted by
-    /// `schedule_cancellable`, removed on delivery or cancellation).
-    cancellable: HashSet<u64>,
-    /// Sequence numbers cancelled but still sitting in the heap; skipped
-    /// (and forgotten) by `next`.
-    cancelled: HashSet<u64>,
 }
 
 impl<E> std::fmt::Debug for Engine<E> {
@@ -92,11 +114,11 @@ impl<E> Engine<E> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
             processed: 0,
             pending_high_water: 0,
-            cancellable: HashSet::new(),
-            cancelled: HashSet::new(),
         }
     }
 
@@ -110,10 +132,10 @@ impl<E> Engine<E> {
         self.processed
     }
 
-    /// Number of events still pending (cancelled-but-not-yet-reaped
-    /// timers are not counted).
+    /// Number of events still pending. Cancelled timers are removed from
+    /// the heap immediately, so this is the true live count.
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len()
     }
 
     /// The most events that were ever pending at once — how deep the
@@ -134,6 +156,93 @@ impl<E> Engine<E> {
     /// Panics if `at` is before the current time — the simulated past is
     /// immutable.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.insert(at, NO_SLOT, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current time and
+    /// returns a handle the caller can use to [`Engine::cancel`] it —
+    /// the primitive timeout timers are built on.
+    pub fn schedule_cancellable(&mut self, delay: SimDuration, event: E) -> TimerHandle {
+        let slot = match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = self.slots.len();
+                assert!(slot < NO_SLOT as usize, "cancellable-timer slab exhausted");
+                self.slots.push(Slot { generation: 0, pos: FREE });
+                slot as u32
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        self.insert(self.now + delay, slot, event);
+        TimerHandle::new(slot, generation)
+    }
+
+    /// Cancels an event scheduled with [`Engine::schedule_cancellable`].
+    ///
+    /// Returns `true` if the event was still pending and is now removed
+    /// from the heap (O(log n)); `false` if it already fired or was
+    /// already cancelled.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        let Some(&Slot { generation, pos }) = self.slots.get(handle.slot() as usize) else {
+            return false;
+        };
+        if generation != handle.generation() || pos == FREE {
+            return false;
+        }
+        self.release_slot(handle.slot());
+        self.remove_at(pos as usize);
+        true
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is empty (simulation end).
+    ///
+    /// Deliberately named like `Iterator::next` — the engine is consumed
+    /// the same way — but it is not an `Iterator` because handlers need
+    /// `&mut Engine` back between events.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let Scheduled { at, seq: _, slot, event } = self.heap.pop().expect("non-empty above");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        if slot != NO_SLOT {
+            self.release_slot(slot);
+        }
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.processed += 1;
+        Some((at, event))
+    }
+
+    /// Peeks at the timestamp of the next event without popping it. O(1):
+    /// the heap root is always live.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|s| s.at)
+    }
+
+    /// Discards all pending events (the clock keeps its value). Live
+    /// timer slots are retired with a generation bump, so handles issued
+    /// before the clear can never cancel events scheduled after it.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        for (slot, s) in self.slots.iter_mut().enumerate() {
+            if s.pos != FREE {
+                s.pos = FREE;
+                s.generation = s.generation.wrapping_add(1);
+                self.free_slots.push(slot as u32);
+            }
+        }
+    }
+
+    /// Pushes one entry and restores the heap order.
+    fn insert(&mut self, at: SimTime, slot: u32, event: E) {
         assert!(
             at >= self.now,
             "cannot schedule into the past (now={}, at={})",
@@ -142,71 +251,83 @@ impl<E> Engine<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.heap.push(Scheduled { at, seq, slot, event });
+        self.sift_up(self.heap.len() - 1);
         self.pending_high_water = self.pending_high_water.max(self.heap.len());
     }
 
-    /// Schedules `event` to fire `delay` after the current time and
-    /// returns a handle the caller can use to [`Engine::cancel`] it —
-    /// the primitive timeout timers are built on.
-    pub fn schedule_cancellable(&mut self, delay: SimDuration, event: E) -> TimerHandle {
-        let seq = self.seq;
-        self.schedule(delay, event);
-        self.cancellable.insert(seq);
-        TimerHandle(seq)
+    /// Retires a slab slot: marks it free and bumps the generation so any
+    /// outstanding handle to it goes stale.
+    fn release_slot(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.pos = FREE;
+        s.generation = s.generation.wrapping_add(1);
+        self.free_slots.push(slot);
     }
 
-    /// Cancels an event scheduled with [`Engine::schedule_cancellable`].
-    ///
-    /// Returns `true` if the event was still pending and is now withdrawn;
-    /// `false` if it already fired or was already cancelled. The entry is
-    /// lazily reaped from the queue, so cancellation is O(1).
-    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
-        if self.cancellable.remove(&handle.0) {
-            self.cancelled.insert(handle.0);
-            true
-        } else {
-            false
+    /// Removes the entry at heap position `pos` (its slot must already be
+    /// released) and restores the heap order.
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        if pos < self.heap.len() {
+            // The swapped-in tail element can be out of order in either
+            // direction; at most one of these moves it.
+            self.sift_down(pos);
+            self.sift_up(pos);
         }
     }
 
-    /// Pops the next event, advancing the clock to its timestamp.
-    ///
-    /// Returns `None` when the queue is empty (simulation end). Cancelled
-    /// timers are skipped silently and do not count as processed.
-    ///
-    /// Deliberately named like `Iterator::next` — the engine is consumed
-    /// the same way — but it is not an `Iterator` because handlers need
-    /// `&mut Engine` back between events.
-    #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Option<(SimTime, E)> {
-        loop {
-            let Scheduled { at, seq, event } = self.heap.pop()?;
-            if self.cancelled.remove(&seq) {
-                continue;
+    fn earlier(&self, a: usize, b: usize) -> bool {
+        let (x, y) = (&self.heap[a], &self.heap[b]);
+        (x.at, x.seq) < (y.at, y.seq)
+    }
+
+    /// Re-records the slab position of the entry at heap index `i`.
+    fn record_pos(&mut self, i: usize) {
+        let slot = self.heap[i].slot;
+        if slot != NO_SLOT {
+            self.slots[slot as usize].pos = i as u32;
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.earlier(i, parent) {
+                self.heap.swap(i, parent);
+                self.record_pos(i);
+                i = parent;
+            } else {
+                break;
             }
-            self.cancellable.remove(&seq);
-            debug_assert!(at >= self.now);
-            self.now = at;
-            self.processed += 1;
-            return Some((at, event));
         }
+        self.record_pos(i);
     }
 
-    /// Peeks at the timestamp of the next live event without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        if self.cancelled.is_empty() {
-            return self.heap.peek().map(|s| s.at);
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let first = ARITY * i + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let mut min = first;
+            let end = (first + ARITY).min(self.heap.len());
+            for child in first + 1..end {
+                if self.earlier(child, min) {
+                    min = child;
+                }
+            }
+            if self.earlier(min, i) {
+                self.heap.swap(i, min);
+                self.record_pos(i);
+                i = min;
+            } else {
+                break;
+            }
         }
-        // Rare path: skip lazily-cancelled timers still in the heap.
-        self.heap.iter().filter(|s| !self.cancelled.contains(&s.seq)).map(|s| s.at).min()
-    }
-
-    /// Discards all pending events (the clock keeps its value).
-    pub fn clear(&mut self) {
-        self.heap.clear();
-        self.cancellable.clear();
-        self.cancelled.clear();
+        self.record_pos(i);
     }
 }
 
@@ -345,7 +466,7 @@ mod tests {
         assert_eq!(ev, "work");
         assert_eq!(t, SimTime::from_nanos(20));
         assert!(eng.next().is_none());
-        // Skipped timers do not count as processed.
+        // Cancelled timers do not count as processed.
         assert_eq!(eng.processed(), 1);
     }
 
@@ -390,5 +511,85 @@ mod tests {
         let (t, e) = eng.next().unwrap();
         assert_eq!(t, SimTime::from_nanos(4));
         assert_eq!(e, "second");
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_a_reused_slot() {
+        let mut eng = Engine::new();
+        let old = eng.schedule_cancellable(SimDuration::from_nanos(5), "old");
+        assert!(eng.cancel(old));
+        // The slot is reused by the next timer; the stale handle must not
+        // reach it (generation mismatch).
+        let new = eng.schedule_cancellable(SimDuration::from_nanos(7), "new");
+        assert!(!eng.cancel(old));
+        assert_eq!(eng.pending(), 1);
+        assert!(eng.cancel(new));
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn handles_issued_before_clear_go_stale() {
+        let mut eng = Engine::new();
+        let h = eng.schedule_cancellable(SimDuration::from_nanos(3), 'a');
+        eng.clear();
+        // The cleared slot is reused; the pre-clear handle must not
+        // cancel the newcomer.
+        let h2 = eng.schedule_cancellable(SimDuration::from_nanos(4), 'b');
+        assert!(!eng.cancel(h));
+        assert_eq!(eng.pending(), 1);
+        assert!(eng.cancel(h2));
+    }
+
+    #[test]
+    fn cancel_mid_heap_preserves_pop_order() {
+        let mut eng = Engine::new();
+        let mut handles = Vec::new();
+        for i in 0..64u64 {
+            // Interleave times so cancellations hit interior heap nodes.
+            handles.push(eng.schedule_cancellable(SimDuration::from_nanos(((i * 37) % 64) + 1), i));
+        }
+        for (i, h) in handles.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(eng.cancel(*h));
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some((t, ev)) = eng.next() {
+            popped.push((t, ev));
+        }
+        let mut expected: Vec<(SimTime, u64)> = (0..64u64)
+            .filter(|i| i % 3 != 0)
+            .map(|i| (SimTime::from_nanos(((i * 37) % 64) + 1), i))
+            .collect();
+        // Same (at, seq) order the engine guarantees: seq here equals i.
+        expected.sort_by_key(|&(t, i)| (t, i));
+        assert_eq!(popped, expected);
+    }
+
+    /// Regression test for the cancelled-id bookkeeping audit: a
+    /// schedule/cancel loop must not grow the heap or the slot slab — the
+    /// old tombstone design kept every cancelled seq in a `HashSet` and
+    /// in the heap until drained.
+    #[test]
+    fn heap_and_slab_stay_bounded_under_schedule_cancel_churn() {
+        let mut eng = Engine::new();
+        // A persistent anchor keeps the heap non-empty throughout.
+        eng.schedule(SimDuration::from_secs(1_000_000), "anchor");
+        for round in 0..100_000u64 {
+            let h = eng.schedule_cancellable(SimDuration::from_nanos(round + 1), "timer");
+            assert!(eng.cancel(h));
+            assert_eq!(eng.pending(), 1, "tombstones piled up at round {round}");
+        }
+        assert_eq!(eng.heap.len(), 1);
+        // The slab reuses the one freed slot instead of growing.
+        assert!(eng.slots.len() <= 2, "slot slab grew to {}", eng.slots.len());
+        // Overlapping timers grow the slab only to the live maximum.
+        let hs: Vec<TimerHandle> =
+            (0..16).map(|i| eng.schedule_cancellable(SimDuration::from_nanos(i + 1), "t")).collect();
+        for h in hs {
+            assert!(eng.cancel(h));
+        }
+        assert!(eng.slots.len() <= 17, "slot slab grew to {}", eng.slots.len());
+        assert_eq!(eng.pending(), 1);
     }
 }

@@ -27,12 +27,22 @@
 //!   per link per round), so the resulting rates are independent of flow
 //!   insertion order, and identical across platforms for identical flow
 //!   sets.
+//! * **Incrementality.** A flow event only disturbs the rates of flows
+//!   that (transitively) share a link with the changed flow. The fabric
+//!   keeps per-link active-flow sets and a dirty-link frontier: a
+//!   re-rate closes the frontier over the flow↔link incidence graph and
+//!   runs progressive filling on just that closure, falling back to the
+//!   full pass when the closure covers every active flow. Because
+//!   progressive filling decomposes exactly over connected components —
+//!   a round on one component's links never reads or writes another's
+//!   residuals — the restricted pass produces bit-identical rates to
+//!   the full pass (see DESIGN.md §13 for the invariant).
 //!
 //! The fabric is event-loop agnostic: callers [`Fabric::advance`] it to
 //! the current simulated time before any interaction, start flows, and
 //! schedule their own wake-up at [`Fabric::next_change`].
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -59,6 +69,43 @@ struct Link {
     busy: SimDuration,
 }
 
+/// The longest path in the topology: host up, rack up, rack down, host
+/// down for a cross-rack flow.
+const MAX_PATH: usize = 4;
+
+/// A link path stored inline — every route crosses at most [`MAX_PATH`]
+/// links, so flows carry their path without a heap allocation.
+#[derive(Debug, Clone, Copy)]
+struct Path {
+    links: [u32; MAX_PATH],
+    len: u8,
+}
+
+impl Path {
+    const EMPTY: Path = Path { links: [0; MAX_PATH], len: 0 };
+
+    fn of(links: &[u32]) -> Path {
+        let mut path = Path::EMPTY;
+        for &l in links {
+            path.links[path.len as usize] = l;
+            path.len += 1;
+        }
+        path
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        &self.links[..self.len as usize]
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn contains(&self, link: u32) -> bool {
+        self.as_slice().contains(&link)
+    }
+}
+
 /// One flow in the fabric.
 #[derive(Debug, Clone)]
 struct Flow {
@@ -71,7 +118,10 @@ struct Flow {
     gate: SimTime,
     /// Link indices the flow crosses (empty for loopback paths, which
     /// complete at the gate).
-    links: Vec<u32>,
+    links: Path,
+    /// Whether the flow is past its gate and enrolled in the per-link
+    /// active sets ([`Fabric::link_flows`]).
+    active: bool,
 }
 
 /// A shared-bandwidth rack/spine network fabric (see module docs).
@@ -82,16 +132,63 @@ pub struct Fabric {
     racks: usize,
     latency: SimDuration,
     links: Vec<Link>,
-    /// Flows keyed by id; BTreeMap so every sweep is in ascending-id
-    /// (i.e. creation) order, independent of hash state.
-    flows: BTreeMap<u64, Flow>,
+    /// Flows as an id-sorted table. Ids are handed out monotonically, so
+    /// insertion is a push and every sweep is in ascending-id (i.e.
+    /// creation) order over contiguous memory — the sweeps (next-change
+    /// scan, integration, gate/drain pass) dominate the hot path.
+    flows: Vec<(u64, Flow)>,
+    /// Active (past-gate, non-loopback) flow ids per link, ascending.
+    link_flows: Vec<Vec<u64>>,
+    /// Number of active flows (sum over components, not links).
+    active_flows: usize,
     next_id: u64,
     /// Last instant the fluid state was integrated to.
     clock: SimTime,
     flows_started: u64,
     rerates: u64,
+    /// Re-rate passes restricted to a dirty-frontier closure.
+    incremental_rerates: u64,
     /// Simulated time during which at least one link was saturated.
     bottleneck_busy: SimDuration,
+    /// Links whose active-flow set changed since the last re-rate; the
+    /// seed (and, after closure, the result) of the frontier BFS.
+    dirty_links: Vec<u32>,
+    /// Dedup/visited marks for `dirty_links`; always all-false between
+    /// re-rates.
+    link_marked: Vec<bool>,
+    /// Scratch for progressive filling: residual capacity per link.
+    residual: Vec<f64>,
+    /// Scratch: unfrozen active flows per link.
+    live: Vec<u32>,
+    /// Scratch: flows frozen this round per link.
+    frozen: Vec<u32>,
+    /// Scratch: aggregate rate per link during integration; all-zero
+    /// between integrations so only touched links need resetting.
+    scratch_load: Vec<f64>,
+    /// Scratch: links that carried load in the current integration.
+    touched: Vec<u32>,
+    /// Memoized [`Fabric::next_change`] result, invalidated by anything
+    /// that moves the clock or changes a flow, gate or rate. The driver
+    /// loop asks for the next boundary, advances to it, and asks again —
+    /// the cache collapses the back-to-back identical scans.
+    next_cache: Cell<NextCache>,
+    /// Scratch: links the current re-rate operates on, ascending.
+    closure: Vec<u32>,
+    /// Scratch: flows that completed in the current advance step.
+    done_scratch: Vec<u64>,
+    /// A `cancel_flow` burst is waiting on its shared deferred re-rate.
+    pending_rerate: bool,
+    /// Test escape hatch: run every re-rate as the canonical full pass.
+    force_full: bool,
+}
+
+/// Memoization state for [`Fabric::next_change`].
+#[derive(Debug, Clone, Copy)]
+enum NextCache {
+    /// The fluid state changed since the last scan.
+    Stale,
+    /// Scan result, valid until the next invalidation.
+    Known(Option<SimTime>),
 }
 
 /// Aggregate rate at or above this fraction of capacity counts a link as
@@ -137,7 +234,8 @@ impl Fabric {
         );
         let racks = hosts.div_ceil(hosts_per_rack);
         let rack_capacity = hosts_per_rack as f64 * host_bandwidth / oversubscription;
-        let mut links = Vec::with_capacity(2 * hosts + 2 * racks);
+        let n_links = 2 * hosts + 2 * racks;
+        let mut links = Vec::with_capacity(n_links);
         let link = |capacity: f64| Link { capacity, carried_bytes: 0.0, busy: SimDuration::ZERO };
         for _ in 0..2 * hosts {
             links.push(link(host_bandwidth));
@@ -151,12 +249,27 @@ impl Fabric {
             racks,
             latency,
             links,
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
+            link_flows: vec![Vec::new(); n_links],
+            active_flows: 0,
             next_id: 0,
             clock: SimTime::ZERO,
             flows_started: 0,
             rerates: 0,
+            incremental_rerates: 0,
             bottleneck_busy: SimDuration::ZERO,
+            dirty_links: Vec::new(),
+            link_marked: vec![false; n_links],
+            residual: vec![0.0; n_links],
+            live: vec![0; n_links],
+            frozen: vec![0; n_links],
+            scratch_load: vec![0.0; n_links],
+            touched: Vec::new(),
+            next_cache: Cell::new(NextCache::Stale),
+            closure: Vec::new(),
+            done_scratch: Vec::new(),
+            pending_rerate: false,
+            force_full: false,
         }
     }
 
@@ -180,6 +293,13 @@ impl Fabric {
         self.rerates
     }
 
+    /// Re-rate passes (a subset of [`Fabric::rerates`]) that were
+    /// restricted to the dirty-frontier closure instead of running the
+    /// full progressive-filling pass over every link.
+    pub fn incremental_rerates(&self) -> u64 {
+        self.incremental_rerates
+    }
+
     /// Flows currently in the fabric (gated or transferring).
     pub fn in_flight(&self) -> usize {
         self.flows.len()
@@ -191,9 +311,13 @@ impl Fabric {
     }
 
     /// Current max-min rate of a flow in bytes/sec (0 while gated),
-    /// or `None` for unknown/finished flows.
-    pub fn rate_of(&self, id: u64) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.rate)
+    /// or `None` for unknown/finished flows. Takes `&mut self` because a
+    /// deferred re-rate from [`Fabric::cancel_flow`] may need to run
+    /// first (see there).
+    pub fn rate_of(&mut self, id: u64) -> Option<f64> {
+        self.flush_rerate();
+        let i = self.flows.binary_search_by_key(&id, |e| e.0).ok()?;
+        Some(self.flows[i].1.rate)
     }
 
     /// Utilization of every link over `[0, end]`: carried bytes divided
@@ -210,6 +334,15 @@ impl Fabric {
                 }
             })
             .collect()
+    }
+
+    /// Forces every re-rate to run the canonical full progressive-filling
+    /// pass, disabling the incremental frontier. Exists so property tests
+    /// can lockstep the incremental path against the full algorithm; not
+    /// meant for production use.
+    #[doc(hidden)]
+    pub fn set_force_full(&mut self, force: bool) {
+        self.force_full = force;
     }
 
     fn rack_of(&self, host: usize) -> usize {
@@ -235,34 +368,34 @@ impl Fabric {
     /// The link path from `from` to `to`. Same-rack host pairs hairpin at
     /// the ToR (no rack uplink); client/spine peers only cross the host
     /// side's links; a host talking to itself crosses nothing.
-    fn path(&self, from: Endpoint, to: Endpoint) -> Vec<u32> {
+    fn path(&self, from: Endpoint, to: Endpoint) -> Path {
         let check = |h: usize| {
             assert!(h < self.hosts, "endpoint host {h} out of range (hosts={})", self.hosts)
         };
         match (from, to) {
-            (Endpoint::Client, Endpoint::Client) => Vec::new(),
+            (Endpoint::Client, Endpoint::Client) => Path::EMPTY,
             (Endpoint::Client, Endpoint::Host(b)) => {
                 check(b);
-                vec![self.rack_down(self.rack_of(b)), self.host_down(b)]
+                Path::of(&[self.rack_down(self.rack_of(b)), self.host_down(b)])
             }
             (Endpoint::Host(a), Endpoint::Client) => {
                 check(a);
-                vec![self.host_up(a), self.rack_up(self.rack_of(a))]
+                Path::of(&[self.host_up(a), self.rack_up(self.rack_of(a))])
             }
             (Endpoint::Host(a), Endpoint::Host(b)) => {
                 check(a);
                 check(b);
                 if a == b {
-                    Vec::new()
+                    Path::EMPTY
                 } else if self.rack_of(a) == self.rack_of(b) {
-                    vec![self.host_up(a), self.host_down(b)]
+                    Path::of(&[self.host_up(a), self.host_down(b)])
                 } else {
-                    vec![
+                    Path::of(&[
                         self.host_up(a),
                         self.rack_up(self.rack_of(a)),
                         self.rack_down(self.rack_of(b)),
                         self.host_down(b),
-                    ]
+                    ])
                 }
             }
         }
@@ -281,21 +414,49 @@ impl Fabric {
             rate: 0.0,
             gate: self.clock + self.latency,
             links: self.path(from, to),
+            active: false,
         };
-        self.flows.insert(id, flow);
+        // Monotone ids keep the table sorted with a plain push.
+        debug_assert!(self.flows.last().is_none_or(|&(last, _)| last < id));
+        self.flows.push((id, flow));
+        self.next_cache.set(NextCache::Stale);
         id
     }
 
+    /// Removes a flow from the id-sorted table, preserving order.
+    fn remove_flow(&mut self, id: u64) -> Option<Flow> {
+        let i = self.flows.binary_search_by_key(&id, |e| e.0).ok()?;
+        self.next_cache.set(NextCache::Stale);
+        Some(self.flows.remove(i).1)
+    }
+
     /// Cancels one in-flight flow (a timed-out transfer being restarted,
-    /// for example) and re-rates the survivors. Returns `false` when the
-    /// id is unknown or already complete. As with `start_flow`, callers
-    /// must `advance` to the present first.
+    /// for example). Returns `false` when the id is unknown or already
+    /// complete. As with `start_flow`, callers must `advance` to the
+    /// present first.
+    ///
+    /// The survivors' re-rate is deferred until the next rate read
+    /// (`advance`, [`Fabric::next_change`], [`Fabric::rate_of`]): no
+    /// fluid moves between a cancellation and the next advance, so a
+    /// burst of cancels at one instant — a timeout storm restarting its
+    /// transfers — shares a single re-rate pass instead of paying one
+    /// per call, and the final rates are identical either way.
     pub fn cancel_flow(&mut self, id: u64) -> bool {
-        if self.flows.remove(&id).is_none() {
+        let Some(flow) = self.remove_flow(id) else {
             return false;
-        }
-        self.recompute();
+        };
+        self.retire(id, &flow);
+        // Gated/loopback flows held no bandwidth; nothing to re-rate.
+        self.pending_rerate |= flow.active;
         true
+    }
+
+    /// Runs the re-rate a [`Fabric::cancel_flow`] burst deferred, if any.
+    fn flush_rerate(&mut self) {
+        if self.pending_rerate {
+            self.pending_rerate = false;
+            self.recompute();
+        }
     }
 
     /// Drops every flow whose path crosses `host`'s access links and
@@ -307,15 +468,17 @@ impl Fabric {
         let dropped: Vec<u64> = self
             .flows
             .iter()
-            .filter(|(_, f)| f.links.contains(&up) || f.links.contains(&down))
-            .map(|(&id, _)| id)
+            .filter(|(_, f)| f.links.contains(up) || f.links.contains(down))
+            .map(|&(id, _)| id)
             .collect();
-        if !dropped.is_empty() {
-            for id in &dropped {
-                self.flows.remove(id);
-            }
-            self.recompute();
+        for &id in &dropped {
+            let flow = self.remove_flow(id).expect("dropped id is live");
+            self.retire(id, &flow);
         }
+        // Eager here (unlike `cancel_flow`): a single pass already covers
+        // the whole failure, and it subsumes any deferred cancel burst.
+        self.pending_rerate = false;
+        self.recompute();
         dropped
     }
 
@@ -323,10 +486,16 @@ impl Fabric {
     /// gate opening or estimated flow completion. `None` when the fabric
     /// is idle. Callers schedule their wake-up event here; any flow
     /// start/failure in between simply schedules a fresh (earlier)
-    /// wake-up.
-    pub fn next_change(&self) -> Option<SimTime> {
+    /// wake-up. Takes `&mut self` because a deferred re-rate from
+    /// [`Fabric::cancel_flow`] may need to run first; the estimates must
+    /// come from post-cancel rates.
+    pub fn next_change(&mut self) -> Option<SimTime> {
+        self.flush_rerate();
+        if let NextCache::Known(next) = self.next_cache.get() {
+            return next;
+        }
         let mut next: Option<SimTime> = None;
-        for flow in self.flows.values() {
+        for (_, flow) in self.flows.iter() {
             let t = if flow.gate > self.clock {
                 flow.gate
             } else if flow.links.is_empty() || drained(flow.remaining, flow.rate) {
@@ -342,6 +511,7 @@ impl Fabric {
             };
             next = Some(next.map_or(t, |n| n.min(t)));
         }
+        self.next_cache.set(NextCache::Known(next));
         next
     }
 
@@ -349,143 +519,339 @@ impl Fabric {
     /// draining flows at their max-min rates. Returns the ids of flows
     /// that completed in `(clock, now]`, in ascending order.
     ///
+    /// Allocates the result vector; hot callers should prefer
+    /// [`Fabric::advance_into`] with a reused buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `now` is before a previous `advance` target — the
     /// simulated past is immutable, as with the event engine.
     pub fn advance(&mut self, now: SimTime) -> Vec<u64> {
-        assert!(now >= self.clock, "fabric cannot advance into the past");
         let mut completed = Vec::new();
+        self.advance_into(now, &mut completed);
+        completed
+    }
+
+    /// [`Fabric::advance`] into a caller-owned buffer: clears `completed`
+    /// and fills it with the ids of flows that finished in `(clock, now]`
+    /// in ascending order, allocating nothing in the steady state.
+    ///
+    /// # Panics
+    ///
+    /// As [`Fabric::advance`].
+    pub fn advance_into(&mut self, now: SimTime, completed: &mut Vec<u64>) {
+        assert!(now >= self.clock, "fabric cannot advance into the past");
+        completed.clear();
+        self.flush_rerate();
         loop {
             // Step to the earliest internal boundary, or to `now`.
             let target = match self.next_change() {
                 Some(t) if t < now => t,
                 _ => now,
             };
-            let dt = (target - self.clock).as_secs_f64();
-            if dt > 0.0 {
-                self.integrate(dt, target - self.clock);
+            let dt = target - self.clock;
+            if dt > SimDuration::ZERO {
+                self.integrate(dt.as_secs_f64(), dt);
                 self.clock = target;
+                self.next_cache.set(NextCache::Stale);
             }
-            let mut changed = false;
-            // Open gates that are due; gated flows hold rate 0 until the
-            // next recompute assigns them a share.
-            let gates_opened = self
-                .flows
-                .values()
-                .any(|f| f.rate == 0.0 && f.gate <= self.clock && !f.links.is_empty());
-            // Complete drained flows (and loopback flows at their gate).
-            let done: Vec<u64> = self
-                .flows
-                .iter()
-                .filter(|(_, f)| {
-                    f.gate <= self.clock
-                        && (f.links.is_empty() || drained(f.remaining, f.rate))
-                })
-                .map(|(&id, _)| id)
-                .collect();
-            for id in &done {
-                self.flows.remove(id);
-                changed = true;
+            // One pass over the flows: open gates that are due, enrolling
+            // the flow in the per-link active sets, and collect drained
+            // flows (and loopback flows, which complete at their gate).
+            //
+            // While the pass finds nothing (`clean`), it also folds the
+            // [`Fabric::next_change`] scan into the same sweep — the
+            // estimates are only valid if no rate is about to change, so
+            // the first activation or drain discards them. Most steps end
+            // on exactly such a do-nothing pass, and priming the memo
+            // here is what lets the caller's follow-up `next_change` skip
+            // its own scan.
+            let mut activated = false;
+            // Fold the estimate scan into the pass only when the memo is
+            // stale — with `dt == 0` the scan at the top of this
+            // iteration already cached the exact same values, and
+            // recomputing them here would double the division work.
+            let prime = matches!(self.next_cache.get(), NextCache::Stale);
+            let mut clean = prime;
+            let mut next_est: Option<SimTime> = None;
+            let clock = self.clock;
+            let link_flows = &mut self.link_flows;
+            let link_marked = &mut self.link_marked;
+            let dirty_links = &mut self.dirty_links;
+            let done = &mut self.done_scratch;
+            done.clear();
+            for &mut (id, ref mut flow) in self.flows.iter_mut() {
+                if flow.gate > clock {
+                    if clean {
+                        let t = flow.gate;
+                        next_est = Some(next_est.map_or(t, |n| n.min(t)));
+                    }
+                    continue;
+                }
+                if flow.links.is_empty() || drained(flow.remaining, flow.rate) {
+                    done.push(id);
+                    clean = false;
+                } else if !flow.active {
+                    flow.active = true;
+                    self.active_flows += 1;
+                    activated = true;
+                    clean = false;
+                    for &l in flow.links.as_slice() {
+                        let set = &mut link_flows[l as usize];
+                        if let Err(pos) = set.binary_search(&id) {
+                            set.insert(pos, id);
+                        }
+                        if !link_marked[l as usize] {
+                            link_marked[l as usize] = true;
+                            dirty_links.push(l);
+                        }
+                    }
+                } else if clean && flow.rate > 0.0 {
+                    // Same estimate `next_change` would compute at this
+                    // clock: finish time rounded up, strictly future.
+                    let dt = SimDuration::from_secs_f64(flow.remaining / flow.rate)
+                        .max(SimDuration::from_nanos(1));
+                    let t = clock + dt;
+                    next_est = Some(next_est.map_or(t, |n| n.min(t)));
+                }
             }
-            completed.extend(done);
-            if gates_opened || changed {
+            // Complete drained flows; ascending order per step, so the
+            // overall report is chronological then ascending.
+            let done = std::mem::take(&mut self.done_scratch);
+            let changed = !done.is_empty();
+            for &id in &done {
+                let flow = self.remove_flow(id).expect("drained flow is live");
+                self.retire(id, &flow);
+            }
+            completed.extend_from_slice(&done);
+            self.done_scratch = done;
+            if activated || changed {
                 self.recompute();
-                changed = true;
-            }
-            if target == now && !changed {
-                break;
+            } else {
+                // Nothing moved in this pass: if the memo was stale, the
+                // fused scan above saw the final state at this clock, so
+                // its result is exactly what the next `next_change` call
+                // would recompute. If it was already fresh, keep it.
+                if prime {
+                    self.next_cache.set(NextCache::Known(next_est));
+                }
+                if target == now {
+                    break;
+                }
             }
         }
-        completed
     }
 
     /// Moves `dt_secs` of fluid at the current rates and accrues the
     /// per-link carried-byte integrals and saturation counters.
     fn integrate(&mut self, dt_secs: f64, dt: SimDuration) {
         // Aggregate rate per link, summed in flow-id order (the order is
-        // deterministic; the sums only feed monotone counters).
-        let mut load = vec![0.0f64; self.links.len()];
-        for flow in self.flows.values() {
-            if flow.rate > 0.0 && flow.gate <= self.clock {
-                for &l in &flow.links {
+        // deterministic; the sums only feed monotone counters). The
+        // remaining-byte decrement rides in the same pass — it reads
+        // only per-flow state. `scratch_load` is all-zero on entry, so a
+        // link's first contribution records it in `touched` and only
+        // those links need the counter update and the reset — unloaded
+        // links would see `+= 0.0` and can be skipped wholesale.
+        let load = &mut self.scratch_load;
+        let touched = &mut self.touched;
+        let clock = self.clock;
+        for &mut (_, ref mut flow) in self.flows.iter_mut() {
+            if flow.rate > 0.0 && flow.gate <= clock {
+                for &l in flow.links.as_slice() {
+                    if load[l as usize] == 0.0 {
+                        touched.push(l);
+                    }
                     load[l as usize] += flow.rate;
                 }
+                flow.remaining = (flow.remaining - flow.rate * dt_secs).max(0.0);
             }
         }
         let mut saturated = false;
-        for (link, rate) in self.links.iter_mut().zip(&load) {
+        for &l in touched.iter() {
+            let l = l as usize;
+            let rate = load[l];
+            let link = &mut self.links[l];
             link.carried_bytes += rate * dt_secs;
-            if *rate >= SATURATION * link.capacity {
+            if rate >= SATURATION * link.capacity {
                 link.busy += dt;
                 saturated = true;
             }
+            load[l] = 0.0;
         }
+        touched.clear();
         if saturated {
             self.bottleneck_busy += dt;
         }
-        for flow in self.flows.values_mut() {
-            if flow.rate > 0.0 && flow.gate <= self.clock {
-                flow.remaining = (flow.remaining - flow.rate * dt_secs).max(0.0);
+    }
+
+    /// Unregisters a removed flow from the per-link active sets and marks
+    /// its links dirty. No-op for gated/loopback flows, which never held
+    /// bandwidth — removing one cannot change any survivor's rate.
+    fn retire(&mut self, id: u64, flow: &Flow) {
+        if !flow.active {
+            return;
+        }
+        self.active_flows -= 1;
+        for &l in flow.links.as_slice() {
+            let set = &mut self.link_flows[l as usize];
+            if let Ok(pos) = set.binary_search(&id) {
+                set.remove(pos);
+            }
+            if !self.link_marked[l as usize] {
+                self.link_marked[l as usize] = true;
+                self.dirty_links.push(l);
             }
         }
     }
 
-    /// Recomputes max-min fair rates for every active flow by progressive
-    /// filling. Insertion-order invariant: each round freezes all flows
-    /// of the bottleneck link at one shared value and subtracts that
-    /// value once per link (`share * frozen_count`), so no result depends
-    /// on the order flows were added.
+    /// Recomputes max-min fair rates by progressive filling, restricted
+    /// to the connected closure of the dirty links. Insertion-order
+    /// invariant: each round freezes all flows of the bottleneck link at
+    /// one shared value and subtracts that value once per link
+    /// (`share * frozen_count`), so no result depends on the order flows
+    /// were added. Flows outside the closure keep their rates — max-min
+    /// fairness decomposes over connected components of the flow↔link
+    /// graph, and every component the change touched is inside the
+    /// closure, so those rates are already exact (and bit-identical to
+    /// what the full pass would assign; the property suite locksteps the
+    /// two under random churn).
     fn recompute(&mut self) {
+        if self.dirty_links.is_empty() {
+            // No active-set change since the last pass: every rate is
+            // already correct, skip the (idempotent) recompute entirely.
+            return;
+        }
         self.rerates += 1;
-        let n_links = self.links.len();
-        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
-        let mut live = vec![0u32; n_links];
-        // Active flows in id order; `rate < 0` marks "not yet frozen".
-        let mut active: Vec<&mut Flow> = Vec::new();
-        for flow in self.flows.values_mut() {
-            if flow.gate <= self.clock && !flow.links.is_empty() {
-                for &l in &flow.links {
-                    live[l as usize] += 1;
+        self.next_cache.set(NextCache::Stale);
+        // Close the frontier: layered BFS over the flow↔link incidence
+        // graph seeded at the dirty links. Each round sweeps the flow
+        // table once and marks every active flow adjacent to a marked
+        // link (`rate < 0` doubles as the "affected, not yet frozen"
+        // mark for the filling loop below); rounds repeat until no new
+        // link gets marked. Sweeping beats per-id lookups: the table is
+        // contiguous and the adjacency test is four array loads, and the
+        // loop stops early once every active flow is affected (the
+        // common case — one saturated link touches everything).
+        let mut affected = 0usize;
+        let link_marked = &mut self.link_marked;
+        let dirty_links = &mut self.dirty_links;
+        let mut frontier_grew = true;
+        while frontier_grew && affected < self.active_flows {
+            frontier_grew = false;
+            for &mut (_, ref mut flow) in self.flows.iter_mut() {
+                if flow.active
+                    && flow.rate >= 0.0
+                    && flow.links.as_slice().iter().any(|&l| link_marked[l as usize])
+                {
+                    flow.rate = -1.0;
+                    affected += 1;
+                    for &l2 in flow.links.as_slice() {
+                        if !link_marked[l2 as usize] {
+                            link_marked[l2 as usize] = true;
+                            dirty_links.push(l2);
+                            frontier_grew = true;
+                        }
+                    }
                 }
-                flow.rate = -1.0;
-                active.push(flow);
-            } else {
-                flow.rate = 0.0;
             }
         }
-        loop {
+        for &l in &self.dirty_links {
+            self.link_marked[l as usize] = false;
+        }
+        self.closure.clear();
+        let affected = if self.force_full {
+            // Test escape hatch: run the canonical full pass over all
+            // active flows regardless of what the frontier closed over.
+            // Links with no active flows are skipped — the bottleneck
+            // scan ignores them (`live == 0`) and no flow accounts
+            // against them, so dropping them changes nothing but the
+            // scan cost.
+            let link_flows = &self.link_flows;
+            self.closure.extend(
+                (0..self.links.len() as u32).filter(|&l| !link_flows[l as usize].is_empty()),
+            );
+            for &mut (_, ref mut flow) in self.flows.iter_mut() {
+                if flow.active {
+                    flow.rate = -1.0;
+                }
+            }
+            self.active_flows
+        } else {
+            // The marked set doubles as the closure — the BFS already
+            // reset every affected flow's rate and marked each of its
+            // links, so when the frontier closed over everything this IS
+            // the full pass: every link carrying an active flow is
+            // marked. (Seed links whose last flow was just retired may
+            // ride along empty; the bottleneck scan skips them.)
+            if affected < self.active_flows {
+                self.incremental_rerates += 1;
+            }
+            std::mem::swap(&mut self.closure, &mut self.dirty_links);
+            // Ascending link order preserves the full pass's
+            // lowest-index tie-break within the closure.
+            self.closure.sort_unstable();
+            affected
+        };
+        self.dirty_links.clear();
+        self.fill(affected);
+        debug_assert!(
+            self.flows.iter().all(|(_, f)| f.rate >= 0.0),
+            "progressive filling left a flow unrated"
+        );
+    }
+
+    /// Progressive filling over `self.closure` (ascending link indices)
+    /// of the `affected` flows carrying `rate < 0`; every link in the
+    /// closure carries only affected flows.
+    fn fill(&mut self, affected: usize) {
+        for &l in &self.closure {
+            let l = l as usize;
+            self.residual[l] = self.links[l].capacity;
+            self.live[l] = self.link_flows[l].len() as u32;
+            self.frozen[l] = 0;
+        }
+        // Every round freezes at least one flow (the bottleneck has
+        // `live > 0`), so counting down to zero skips the final
+        // everything-is-frozen bottleneck scan a plain loop would run.
+        let mut unfrozen = affected;
+        while unfrozen > 0 {
             // Bottleneck: the live link with the smallest fair share,
             // lowest index on ties.
-            let mut bottleneck: Option<(usize, f64)> = None;
-            for l in 0..n_links {
-                if live[l] == 0 {
+            let mut bottleneck: Option<(u32, f64)> = None;
+            for &l in &self.closure {
+                let li = l as usize;
+                if self.live[li] == 0 {
                     continue;
                 }
-                let share = (residual[l] / live[l] as f64).max(0.0);
+                let share = (self.residual[li] / self.live[li] as f64).max(0.0);
                 match bottleneck {
                     Some((_, best)) if best <= share => {}
                     _ => bottleneck = Some((l, share)),
                 }
             }
             let Some((bottleneck, share)) = bottleneck else { break };
-            let mut frozen = vec![0u32; n_links];
-            for flow in active.iter_mut() {
-                if flow.rate < 0.0 && flow.links.contains(&(bottleneck as u32)) {
+            // Freeze by sweeping the flow table (contiguous, no per-id
+            // lookups); freezing is a per-flow set operation, so the
+            // sweep order does not affect the arithmetic.
+            let frozen = &mut self.frozen;
+            for &mut (_, ref mut flow) in self.flows.iter_mut() {
+                if flow.rate < 0.0 && flow.links.contains(bottleneck) {
                     flow.rate = share;
-                    for &l in &flow.links {
+                    unfrozen -= 1;
+                    for &l in flow.links.as_slice() {
                         frozen[l as usize] += 1;
                     }
                 }
             }
-            for l in 0..n_links {
-                if frozen[l] > 0 {
-                    residual[l] = (residual[l] - share * frozen[l] as f64).max(0.0);
-                    live[l] -= frozen[l];
+            for &l in &self.closure {
+                let l = l as usize;
+                if self.frozen[l] > 0 {
+                    self.residual[l] = (self.residual[l] - share * self.frozen[l] as f64).max(0.0);
+                    self.live[l] -= self.frozen[l];
+                    self.frozen[l] = 0;
                 }
             }
         }
-        debug_assert!(active.iter().all(|f| f.rate >= 0.0), "progressive filling left a flow unrated");
     }
 }
 
@@ -691,6 +1057,64 @@ mod tests {
         }
         assert!(t >= t_exact && (t - t_exact) <= step, "coarse {t}, exact {t_exact}");
         assert_eq!(coarse.in_flight(), 0);
+    }
+
+    #[test]
+    fn disjoint_components_rerate_incrementally() {
+        // Racks of 4: hosts 0-3 in rack 0, 4-7 in rack 1. Same-rack
+        // traffic hairpins at the ToR, so the two racks are disconnected
+        // components of the flow↔link graph.
+        let mut f = fabric(8);
+        let a = f.start_flow(Endpoint::Host(0), Endpoint::Host(1), 1 << 20);
+        let b = f.start_flow(Endpoint::Host(0), Endpoint::Host(1), 1 << 20);
+        let c = f.start_flow(Endpoint::Host(4), Endpoint::Host(5), 1 << 20);
+        let gate = f.next_change().unwrap();
+        f.advance(gate);
+        let rate_c = f.rate_of(c).unwrap();
+        let full_before = f.rerates() - f.incremental_rerates();
+        f.cancel_flow(a);
+        // Only the rack-0 component re-rates (the deferred pass runs at
+        // the first rate read): the pass was incremental, the survivor
+        // gets the whole host link back, and the rack-1 flow's rate is
+        // untouched bit for bit.
+        assert!((f.rate_of(b).unwrap() - BW).abs() < 1.0);
+        assert_eq!(f.rerates() - f.incremental_rerates(), full_before);
+        assert!(f.incremental_rerates() >= 1);
+        assert_eq!(f.rate_of(c).unwrap().to_bits(), rate_c.to_bits());
+    }
+
+    #[test]
+    fn cancelling_a_gated_flow_skips_the_rerate() {
+        let mut f = fabric(8);
+        let a = f.start_flow(Endpoint::Client, Endpoint::Host(0), 1 << 20);
+        let gate = f.next_change().unwrap();
+        f.advance(gate);
+        let rerates = f.rerates();
+        // Still inside its latency gate: holds no bandwidth, so removing
+        // it cannot change any rate and no pass runs.
+        let gated = f.start_flow(Endpoint::Client, Endpoint::Host(1), 1 << 20);
+        assert!(f.cancel_flow(gated));
+        assert_eq!(f.rerates(), rerates);
+        assert!((f.rate_of(a).unwrap() - BW).abs() < 1.0);
+    }
+
+    #[test]
+    fn advance_into_reuses_the_buffer() {
+        let mut f = fabric(4);
+        let id = f.start_flow(Endpoint::Client, Endpoint::Host(0), 1_000_000);
+        let mut buf = vec![7, 8, 9];
+        let gate = f.next_change().unwrap();
+        f.advance_into(gate, &mut buf);
+        assert!(buf.is_empty(), "buffer must be cleared even when nothing completes");
+        for _ in 0..10_000 {
+            let t = f.next_change().expect("flow still pending");
+            f.advance_into(t, &mut buf);
+            if !buf.is_empty() {
+                assert_eq!(buf, vec![id]);
+                return;
+            }
+        }
+        panic!("flow never completed");
     }
 
     #[test]

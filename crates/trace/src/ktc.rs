@@ -45,7 +45,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use crate::record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
-use crate::span::{Span, SpanId, TraceId};
+use crate::span::{Span, SpanId, SpanName, TraceId};
 use crate::store::TraceSet;
 use crate::{Result, TraceError};
 
@@ -564,7 +564,10 @@ pub enum KtcBlock {
 #[derive(Debug)]
 pub struct KtcReader<R: Read> {
     r: R,
-    strings: Vec<String>,
+    /// Cumulative intern table as shared [`SpanName`]s: each distinct
+    /// string is allocated once when its table block arrives; span decode
+    /// then builds names by index with a refcount bump, never copying.
+    strings: Vec<SpanName>,
     offset: u64,
     done: bool,
 }
@@ -749,7 +752,7 @@ impl<R: Read> KtcReader<R> {
             let raw = cur.bytes(len, "string bytes")?;
             let s = std::str::from_utf8(raw)
                 .map_err(|e| cur.corrupt(format!("interned string is not UTF-8: {e}")))?;
-            self.strings.push(s.to_string());
+            self.strings.push(SpanName::from(s));
         }
         if !cur.finished() {
             return Err(cur.corrupt("unread bytes at end of string table"));
@@ -873,7 +876,7 @@ fn decode_network(cur: &mut Cursor<'_>, count: u64) -> Result<Vec<NetworkRecord>
     Ok(out)
 }
 
-fn decode_spans(cur: &mut Cursor<'_>, count: u64, strings: &[String]) -> Result<Vec<Span>> {
+fn decode_spans(cur: &mut Cursor<'_>, count: u64, strings: &[SpanName]) -> Result<Vec<Span>> {
     let n = checked_count(cur, count)?;
     let mut trace_ids = Vec::with_capacity(n);
     let mut prev = 0u64;
@@ -896,19 +899,21 @@ fn decode_spans(cur: &mut Cursor<'_>, count: u64, strings: &[String]) -> Result<
     for &has in &has_parent {
         parents.push(if has { Some(cur.varint("span parent id")?) } else { None });
     }
+    // Validated indices into the shared intern table; the spans below are
+    // built by index (a refcount bump per name), allocating nothing.
     let mut names = Vec::with_capacity(n);
     for _ in 0..n {
         let idx = cur.varint("span name index")?;
-        let name = usize::try_from(idx)
+        let i = usize::try_from(idx)
             .ok()
-            .and_then(|i| strings.get(i))
+            .filter(|&i| i < strings.len())
             .ok_or_else(|| {
                 cur.corrupt(format!(
                     "intern index {idx} out of range (table has {} strings)",
                     strings.len()
                 ))
             })?;
-        names.push(name.clone());
+        names.push(i);
     }
     let mut starts = Vec::with_capacity(n);
     let mut prev_start = 0u64;
@@ -951,7 +956,7 @@ fn decode_spans(cur: &mut Cursor<'_>, count: u64, strings: &[String]) -> Result<
             trace_id: TraceId(trace_ids[i]),
             span_id: SpanId(span_ids[i]),
             parent: parents[i].map(SpanId),
-            name: names[i].clone(),
+            name: strings[names[i]].clone(),
             start_nanos: starts[i],
             end_nanos: ends[i],
             annotations,
@@ -1147,7 +1152,7 @@ mod tests {
             trace_id: TraceId(u64::MAX),
             span_id: SpanId(u64::MAX),
             parent: Some(SpanId(u64::MAX)),
-            name: String::new(),
+            name: SpanName::default(),
             start_nanos: u64::MAX,
             end_nanos: 0, // inverted on purpose: the format must not care
             annotations: vec![(u64::MAX, "α/β — non-ascii".into())],

@@ -36,7 +36,7 @@ pub mod view;
 
 pub use ktc::{KtcBlock, KtcReader, KtcWriter, TraceFormat};
 pub use record::{CpuRecord, Direction, IoOp, MemoryRecord, NetworkRecord, StorageRecord};
-pub use span::{Span, SpanCollector, SpanId, TraceId, TraceTree};
+pub use span::{Span, SpanCollector, SpanId, SpanName, TraceId, TraceTree};
 pub use store::TraceSet;
 pub use view::{ShardedTrace, TraceView};
 

@@ -7,10 +7,123 @@
 //! the in-depth models need (phase order, critical depth, total latency).
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use kooza_json::{FromJson, Json, ToJson};
 
 use crate::{Result, TraceError};
+
+/// An interned span name: an immutable, cheaply cloneable string.
+///
+/// Span names (and annotation messages) draw from a tiny vocabulary —
+/// `"request"`, `"disk"`, `"cache miss"` — but attach to millions of
+/// spans. Sharing one allocation per distinct name makes cloning a span
+/// a refcount bump and lets the KTC block decoder build spans straight
+/// from its string table without copying. A `SpanName` compares, hashes,
+/// orders, displays and serializes exactly like the underlying string.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanName(Arc<str>);
+
+impl SpanName {
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for SpanName {
+    fn default() -> Self {
+        SpanName(Arc::from(""))
+    }
+}
+
+impl std::ops::Deref for SpanName {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for SpanName {
+    fn from(s: &str) -> Self {
+        SpanName(Arc::from(s))
+    }
+}
+
+impl From<String> for SpanName {
+    fn from(s: String) -> Self {
+        SpanName(Arc::from(s))
+    }
+}
+
+impl From<&SpanName> for SpanName {
+    fn from(s: &SpanName) -> Self {
+        s.clone()
+    }
+}
+
+impl PartialEq<str> for SpanName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for SpanName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for SpanName {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<SpanName> for str {
+    fn eq(&self, other: &SpanName) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<SpanName> for &str {
+    fn eq(&self, other: &SpanName) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<SpanName> for String {
+    fn eq(&self, other: &SpanName) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl std::fmt::Debug for SpanName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl std::fmt::Display for SpanName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl ToJson for SpanName {
+    fn to_json(&self) -> Json {
+        // Serializes as a plain string — byte-identical to the owned
+        // `String` this type replaced (the JSONL goldens pin this).
+        self.as_str().to_json()
+    }
+}
+
+impl FromJson for SpanName {
+    fn from_json(value: &Json) -> kooza_json::Result<Self> {
+        String::from_json(value).map(SpanName::from)
+    }
+}
 
 /// Globally unique request (trace) identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -55,13 +168,13 @@ pub struct Span {
     /// Parent span; `None` for the root.
     pub parent: Option<SpanId>,
     /// Human-readable section name, e.g. `"network"`, `"disk.read"`.
-    pub name: String,
+    pub name: SpanName,
     /// Start time, simulated nanoseconds.
     pub start_nanos: u64,
     /// End time, simulated nanoseconds.
     pub end_nanos: u64,
     /// Timestamped free-form annotations.
-    pub annotations: Vec<(u64, String)>,
+    pub annotations: Vec<(u64, SpanName)>,
 }
 
 impl Span {
@@ -74,7 +187,7 @@ impl Span {
         trace_id: TraceId,
         span_id: SpanId,
         parent: Option<SpanId>,
-        name: impl Into<String>,
+        name: impl Into<SpanName>,
         start_nanos: u64,
         end_nanos: u64,
     ) -> Self {
@@ -91,7 +204,7 @@ impl Span {
     }
 
     /// Adds a timestamped annotation.
-    pub fn annotate(&mut self, ts_nanos: u64, message: impl Into<String>) {
+    pub fn annotate(&mut self, ts_nanos: u64, message: impl Into<SpanName>) {
         self.annotations.push((ts_nanos, message.into()));
     }
 
@@ -121,10 +234,10 @@ impl FromJson for Span {
             trace_id: TraceId::from_json(value.field("trace_id")?)?,
             span_id: SpanId::from_json(value.field("span_id")?)?,
             parent: Option::<SpanId>::from_json(value.field("parent")?)?,
-            name: String::from_json(value.field("name")?)?,
+            name: SpanName::from_json(value.field("name")?)?,
             start_nanos: u64::from_json(value.field("start_nanos")?)?,
             end_nanos: u64::from_json(value.field("end_nanos")?)?,
-            annotations: Vec::<(u64, String)>::from_json(value.field("annotations")?)?,
+            annotations: Vec::<(u64, SpanName)>::from_json(value.field("annotations")?)?,
         })
     }
 }

@@ -98,7 +98,7 @@ fn arbitrary_set(seed: u64, max_rows: u64) -> TraceSet {
         let end = any_ts(&mut rng);
         let n_ann = rng.next_bounded(4);
         let annotations =
-            (0..n_ann).map(|_| (any_u64(&mut rng), any_name(&mut rng))).collect();
+            (0..n_ann).map(|_| (any_u64(&mut rng), any_name(&mut rng).into())).collect();
         ts.spans.push(Span {
             trace_id: TraceId(any_u64(&mut rng)),
             span_id: SpanId(any_u64(&mut rng)),
@@ -107,7 +107,7 @@ fn arbitrary_set(seed: u64, max_rows: u64) -> TraceSet {
             } else {
                 Some(SpanId(any_u64(&mut rng)))
             },
-            name: any_name(&mut rng),
+            name: any_name(&mut rng).into(),
             start_nanos: start,
             end_nanos: end,
             annotations,

@@ -46,6 +46,22 @@ cargo bench --offline -p kooza-bench --bench shard -- --mode smoke >/dev/null
 # past the timeout cliff — a semantic check, not just a compile check.
 cargo bench --offline -p kooza-bench --bench fabric -- --mode smoke >/dev/null
 
+echo "== simcore smoke gate: hot path vs archived BENCH_simcore.json =="
+# Coarse perf tripwire for the simulation core (incremental fabric
+# re-rating + event queue): a smoke run diffed against the archived
+# full-mode medians. The loose tolerance (0.5) keeps 3-sample medians
+# from flaking while still catching a hot path going ~2x slower. The
+# harness exits 0 either way, so grep the printed diff for the flag.
+# Absolute path: cargo runs the bench binary from the crate root, not
+# the workspace root.
+simcore_out=$(KOOZA_BENCH_TOLERANCE=0.5 cargo bench --offline -p kooza-bench \
+    --bench simcore -- --mode smoke --baseline "$PWD/BENCH_simcore.json")
+echo "$simcore_out" | sed -n '/vs baseline/,$p'
+if echo "$simcore_out" | grep -q "REGRESSION"; then
+    echo "simcore hot path regressed vs BENCH_simcore.json" >&2
+    exit 1
+fi
+
 echo "== KTC trace format: property, corruption and golden-fixture suites =="
 # The binary columnar format is gated on the JSONL oracle: round-trip
 # identity and oracle agreement (properties), typed errors on every

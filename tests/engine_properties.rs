@@ -1,0 +1,161 @@
+//! Property suite for the cancellable event queue (`kooza_sim::Engine`).
+//!
+//! The engine's indexed d-ary heap does true O(log n) removal on
+//! cancel, replacing the old tombstone scheme (BinaryHeap plus a
+//! cancelled-id set). The externally visible contract is unchanged and
+//! pinned here against a trivial reference model: events pop in
+//! `(time, insertion seq)` order, cancelled timers never fire, and
+//! `pending()` counts exactly the live timers.
+//!
+//! Runs on the in-repo `kooza-check` harness: deterministic seeded case
+//! streams, configurable via `KOOZA_CHECK_CASES` / `KOOZA_CHECK_SEED`.
+
+use kooza_check::gen::{u64_range, usize_range, zip2};
+use kooza_check::{checker, ensure};
+use kooza_sim::rng::Rng64;
+use kooza_sim::{Engine, SimDuration, SimTime, TimerHandle};
+
+/// Reference model: a flat list of `(at, seq, payload)` popped by a
+/// linear minimum scan, with cancellation as plain removal. Quadratic
+/// and obviously correct.
+#[derive(Default)]
+struct NaiveQueue {
+    now: SimTime,
+    seq: u64,
+    items: Vec<(SimTime, u64, u64)>,
+}
+
+impl NaiveQueue {
+    fn schedule(&mut self, delay: SimDuration, payload: u64) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.items.push((self.now + delay, seq, payload));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.items.iter().position(|&(_, s, _)| s == seq) {
+            Some(i) => {
+                self.items.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn next(&mut self) -> Option<(SimTime, u64)> {
+        let best = self
+            .items
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(at, seq, _))| (at, seq))
+            .map(|(i, _)| i)?;
+        let (at, _, payload) = self.items.swap_remove(best);
+        self.now = at;
+        Some((at, payload))
+    }
+}
+
+/// Random interleavings of schedule / cancellable-schedule / cancel /
+/// pop produce the same event sequence from the indexed heap as from
+/// the naive reference, with `pending()` agreeing at every step.
+#[test]
+fn pop_order_matches_naive_reference_under_churn() {
+    checker("pop_order_matches_naive_reference_under_churn").run(
+        zip2(u64_range(0, u64::MAX / 2), usize_range(20, 200)),
+        |&(seed, ops)| {
+            let mut rng = Rng64::new(seed);
+            let mut engine: Engine<u64> = Engine::new();
+            let mut naive = NaiveQueue::default();
+            // Live cancellable timers: (engine handle, reference seq).
+            let mut live: Vec<(TimerHandle, u64)> = Vec::new();
+            let mut payload = 0u64;
+            for _ in 0..ops {
+                match rng.next_u64() % 8 {
+                    0..=2 => {
+                        let delay = SimDuration::from_nanos(rng.next_u64() % 5_000);
+                        engine.schedule(delay, payload);
+                        naive.schedule(delay, payload);
+                        payload += 1;
+                    }
+                    3..=4 => {
+                        let delay = SimDuration::from_nanos(rng.next_u64() % 5_000);
+                        let h = engine.schedule_cancellable(delay, payload);
+                        let s = naive.schedule(delay, payload);
+                        live.push((h, s));
+                        payload += 1;
+                    }
+                    5 if !live.is_empty() => {
+                        let i = (rng.next_u64() % live.len() as u64) as usize;
+                        let (h, s) = live.swap_remove(i);
+                        ensure!(
+                            engine.cancel(h) && naive.cancel(s),
+                            "cancel of a live timer failed"
+                        );
+                        ensure!(!engine.cancel(h), "double cancel reported success");
+                    }
+                    _ => {
+                        let a = engine.next();
+                        let b = naive.next();
+                        ensure!(a == b, "pop diverged: engine {a:?} vs reference {b:?}");
+                        // A fired cancellable timer's handle goes stale;
+                        // drop it from the live set so we never cancel it.
+                        if a.is_some() {
+                            live.retain(|&(_, s)| naive.items.iter().any(|&(_, s2, _)| s2 == s));
+                        }
+                    }
+                }
+                ensure!(
+                    engine.pending() == naive.items.len(),
+                    "pending diverged: {} vs {}",
+                    engine.pending(),
+                    naive.items.len()
+                );
+            }
+            // Drain both queues to the end.
+            loop {
+                let a = engine.next();
+                let b = naive.next();
+                ensure!(a == b, "drain diverged: engine {a:?} vs reference {b:?}");
+                if a.is_none() {
+                    break;
+                }
+            }
+            ensure!(engine.pending() == 0, "engine not empty after drain");
+            Ok(())
+        },
+    );
+}
+
+/// `clear()` mid-churn empties the queue, stales every outstanding
+/// handle, and leaves the engine reusable with a fresh seq order.
+#[test]
+fn clear_resets_the_queue_and_stales_handles() {
+    checker("clear_resets_the_queue_and_stales_handles").run(
+        zip2(u64_range(0, u64::MAX / 2), usize_range(1, 64)),
+        |&(seed, n)| {
+            let mut rng = Rng64::new(seed);
+            let mut engine: Engine<u64> = Engine::new();
+            let handles: Vec<TimerHandle> = (0..n)
+                .map(|i| {
+                    let delay = SimDuration::from_nanos(1 + rng.next_u64() % 1_000);
+                    engine.schedule_cancellable(delay, i as u64)
+                })
+                .collect();
+            engine.clear();
+            ensure!(engine.pending() == 0, "clear left events pending");
+            for h in handles {
+                ensure!(!engine.cancel(h), "pre-clear handle survived clear");
+            }
+            // The engine is fully reusable afterwards.
+            engine.schedule(SimDuration::from_nanos(5), 99);
+            let h = engine.schedule_cancellable(SimDuration::from_nanos(3), 7);
+            ensure!(engine.cancel(h), "fresh handle after clear did not cancel");
+            ensure!(
+                engine.next() == Some((SimTime::ZERO + SimDuration::from_nanos(5), 99)),
+                "post-clear pop returned the wrong event"
+            );
+            Ok(())
+        },
+    );
+}

@@ -228,3 +228,87 @@ fn all_flows_complete_exactly_once() {
         },
     );
 }
+
+/// Incremental re-rating (dirty-link frontier + component closure) is
+/// bit-identical to unconditional full progressive filling under random
+/// churn of flow starts, cancels, host failures and clock advances.
+///
+/// Two fabrics receive the same operation stream; one is pinned to the
+/// full-pass path via `set_force_full`. After every operation all live
+/// flows must carry bit-identical rates, and every advance must report
+/// the same completion ids in the same order.
+#[test]
+fn incremental_rerate_matches_full_fill_in_lockstep() {
+    checker("incremental_rerate_matches_full_fill_in_lockstep").run(
+        zip3(
+            usize_range(2, 20),          // hosts
+            u64_range(0, u64::MAX / 2),  // op-stream seed
+            usize_range(10, 60),         // operations
+        ),
+        |&(hosts, seed, ops)| {
+            let spr = 4.min(hosts);
+            let oversub = 2.0f64.min(spr as f64);
+            let mut inc = Fabric::new(hosts, spr, oversub, BW, LAT);
+            let mut full = Fabric::new(hosts, spr, oversub, BW, LAT);
+            full.set_force_full(true);
+            let mut rng = Rng64::new(seed);
+            let mut now = SimTime::ZERO;
+            let mut live: Vec<u64> = Vec::new();
+            let (mut done_inc, mut done_full) = (Vec::new(), Vec::new());
+            for _ in 0..ops {
+                match rng.next_u64() % 10 {
+                    0..=4 => {
+                        let ep = |v: u64| match v as usize % (hosts + 1) {
+                            0 => Endpoint::Client,
+                            h => Endpoint::Host(h - 1),
+                        };
+                        let (from, to) = (ep(rng.next_u64()), ep(rng.next_u64()));
+                        let bytes = 1 + rng.next_u64() % (1 << 24);
+                        let a = inc.start_flow(from, to, bytes);
+                        let b = full.start_flow(from, to, bytes);
+                        ensure!(a == b, "flow ids diverged ({a} vs {b})");
+                        live.push(a);
+                    }
+                    5 if !live.is_empty() => {
+                        let i = (rng.next_u64() % live.len() as u64) as usize;
+                        let id = live.swap_remove(i);
+                        ensure!(
+                            inc.cancel_flow(id) == full.cancel_flow(id),
+                            "cancel({id}) diverged"
+                        );
+                    }
+                    6 => {
+                        let h = (rng.next_u64() % hosts as u64) as usize;
+                        let (a, b) = (inc.fail_host(h), full.fail_host(h));
+                        ensure!(a == b, "fail_host({h}) dropped different flows");
+                        live.retain(|id| !a.contains(id));
+                    }
+                    _ => {
+                        let dt = SimDuration::from_nanos(1 + rng.next_u64() % 2_000_000);
+                        let target = match inc.next_change() {
+                            Some(t) if rng.next_u64().is_multiple_of(2) => t,
+                            _ => now + dt,
+                        };
+                        now = now.max(target);
+                        inc.advance_into(now, &mut done_inc);
+                        full.advance_into(now, &mut done_full);
+                        ensure!(done_inc == done_full, "completion order diverged at {now}");
+                        live.retain(|id| !done_inc.contains(id));
+                    }
+                }
+                for &id in &live {
+                    let a = inc.rate_of(id).map(f64::to_bits);
+                    let b = full.rate_of(id).map(f64::to_bits);
+                    ensure!(a == b, "flow {id}: incremental {a:?} vs full {b:?}");
+                }
+            }
+            ensure!(
+                inc.in_flight() == full.in_flight(),
+                "in-flight diverged: {} vs {}",
+                inc.in_flight(),
+                full.in_flight()
+            );
+            Ok(())
+        },
+    );
+}
